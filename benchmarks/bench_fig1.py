@@ -1,0 +1,40 @@
+"""Figure 1 — delay of a clock phase vs Vcc for logic and 8-T bitcells.
+
+Regenerates all five series (12 FO4 chain, bitcell write/read, each with
+wordline activation) over the paper's 700-400 mV sweep and asserts the
+published crossover structure: write-only crosses the logic phase near
+525 mV, write+wordline near 600 mV, read stays below logic everywhere.
+"""
+
+from conftest import record_table
+
+from repro.analysis.figures import figure1_series
+from repro.analysis.reporting import format_table
+
+
+def _generate():
+    return figure1_series(step_mv=25.0)
+
+
+def test_figure1(benchmark):
+    rows = benchmark.pedantic(_generate, rounds=3, iterations=1)
+    by_vcc = {row["vcc_mv"]: row for row in rows}
+
+    # Shape assertions (paper Section 2.1).
+    assert by_vcc[700.0]["write_plus_wordline"] < by_vcc[700.0]["logic_12fo4"]
+    assert by_vcc[575.0]["write_plus_wordline"] > by_vcc[575.0]["logic_12fo4"]
+    assert by_vcc[500.0]["bitcell_write"] > by_vcc[500.0]["logic_12fo4"]
+    assert by_vcc[550.0]["bitcell_write"] < 1.1 * by_vcc[550.0]["logic_12fo4"]
+    for row in rows:
+        assert row["read_plus_wordline"] < row["logic_12fo4"]
+    # Exponential write growth: the last 100 mV more than double the delay.
+    assert (by_vcc[400.0]["bitcell_write"]
+            > 2.0 * by_vcc[500.0]["bitcell_write"])
+
+    record_table("fig1_delay_vs_vcc", format_table(
+        rows,
+        columns=["vcc_mv", "logic_12fo4", "bitcell_write", "bitcell_read",
+                 "write_plus_wordline", "read_plus_wordline"],
+        title="Figure 1: clock-phase delay vs Vcc "
+              "(normalized to 12 FO4 at 700 mV)",
+    ))

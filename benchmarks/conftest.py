@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures.  The data
+tables are registered via :func:`record_table` and printed in the terminal
+summary (pytest captures per-test stdout, the summary hook is not), and
+also written to ``benchmarks/results/`` for later inspection.
+
+The expensive Vcc-sweep points are shared through a session-scoped
+:func:`session_sweep` fixture so the figure benches do not re-simulate the
+same operating points.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.sweep import SweepSettings, VccSweep
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_TABLES: list[tuple[str, str]] = []
+
+#: Benchmark-population sizing: all six profile families, short traces.
+BENCH_TRACE_LENGTH = 6_000
+
+
+def record_table(name: str, text: str) -> None:
+    """Register a regenerated table for the terminal summary + results dir."""
+    _TABLES.append((name, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def session_sweep() -> VccSweep:
+    """One shared evaluation sweep for all benchmarks."""
+    return VccSweep(SweepSettings(trace_length=BENCH_TRACE_LENGTH))
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "reproduced paper artifacts")
+    for name, text in _TABLES:
+        terminalreporter.write_sep("-", name)
+        terminalreporter.write_line(text)

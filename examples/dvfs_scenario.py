@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""DVFS scenario: Vcc changes mid-workload, IRAW reconfigures on the fly.
+
+A phone-like schedule: a burst phase at 650 mV (IRAW idle — writes fit the
+cycle), then a long battery-saver phase at 450 mV (IRAW active, N=1), then
+a medium phase at 550 mV.  At every transition the pipeline drains, the
+Vcc controller rewrites the scoreboard patterns / IQ threshold / guard
+counters / STable sizing, and execution resumes.
+
+Run:  python examples/dvfs_scenario.py
+"""
+
+from repro.analysis.dvfs import DvfsPhase, DvfsScenario
+from repro.analysis.reporting import format_table
+from repro.circuits.frequency import ClockScheme
+from repro.workloads.profiles import OFFICE_LIKE
+from repro.workloads.synthetic import SyntheticTraceGenerator
+
+SCHEDULE = [
+    DvfsPhase(vcc_mv=650.0, instructions=4000),   # interactive burst
+    DvfsPhase(vcc_mv=450.0, instructions=8000),   # battery saver
+    DvfsPhase(vcc_mv=550.0, instructions=4000),   # background sync
+]
+
+
+def main() -> None:
+    trace = SyntheticTraceGenerator(OFFICE_LIKE, seed=5).generate(16_000)
+    print("Schedule:", ", ".join(
+        f"{p.instructions} instr @ {p.vcc_mv:.0f} mV" for p in SCHEDULE))
+    print()
+
+    outcomes = {}
+    for scheme in (ClockScheme.BASELINE, ClockScheme.IRAW):
+        scenario = DvfsScenario(scheme=scheme)
+        outcome = scenario.run(trace, SCHEDULE)
+        outcomes[scheme] = (scenario, outcome)
+        rows = [{
+            "vcc_mv": p.phase.vcc_mv,
+            "instructions": p.phase.instructions,
+            "frequency_mhz": p.frequency_mhz,
+            "stabilization_N": p.stabilization_cycles,
+            "cycles": p.cycles,
+            "time_ms": p.time_s * 1e3,
+        } for p in outcome.phases]
+        print(format_table(rows, title=f"{scheme.value} clocking"))
+        print(f"  total: {outcome.total_time_s * 1e3:.3f} ms "
+              f"(incl. {outcome.transitions} Vcc transitions)")
+        print()
+
+    base = outcomes[ClockScheme.BASELINE][1]
+    iraw = outcomes[ClockScheme.IRAW][1]
+    speedup = base.total_time_s / iraw.total_time_s
+    print(f"IRAW finishes the whole schedule {speedup:.2f}x faster.")
+    print("Note the 650 mV phase: identical frequency under both schemes "
+          "(IRAW deactivates above 600 mV) — the wins come entirely from "
+          "the low-Vcc phases, exactly the paper's Section 4.1.3 story.")
+
+
+if __name__ == "__main__":
+    main()

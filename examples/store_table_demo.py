@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""STable anatomy: watch the DL0 store-tracking mechanism work (Fig. 10).
+
+Runs the ``store_forward`` kernel — whose inner loop stores a value and
+immediately loads it back — under IRAW clocking, with full golden-value
+checking.  Every immediate load-after-store would read a not-yet-stabilized
+DL0 word; the STable forwards the data instead and the end-to-end values
+stay correct.  Then the same kernel runs with the STable *disabled* to show
+exactly what it prevents: corrupted loads and golden-value mismatches.
+
+Run:  python examples/store_table_demo.py
+"""
+
+from repro.core.config import IrawConfig
+from repro.pipeline.core import simulate
+from repro.workloads.kernels import kernel_trace
+
+
+def describe(label, result):
+    hazards = result.prediction_hazards
+    print(f"{label}:")
+    print(f"  cycles: {result.cycles}, IPC {result.ipc:.3f}")
+    print(f"  STable full matches (data forwarded): "
+          f"{hazards['stable_full_matches']}")
+    print(f"  STable set-only matches (replay repairs): "
+          f"{hazards['stable_set_matches']}")
+    print(f"  IRAW violations: {result.iraw_violations}")
+    print(f"  golden-value mismatches: {result.value_mismatches}")
+    print()
+
+
+def main() -> None:
+    trace, final_state = kernel_trace("store_forward", 64)
+    print(f"Kernel: store then immediately load back, 64 iterations "
+          f"({len(trace)} dynamic instructions)\n")
+
+    baseline = simulate(trace, IrawConfig.disabled(), name="baseline")
+    describe("Baseline clock (writes complete in-cycle, STable idle)",
+             baseline)
+
+    protected = simulate(trace, IrawConfig(stabilization_cycles=1),
+                         name="iraw")
+    describe("IRAW clock, STable ON (the paper's design)", protected)
+
+    broken = simulate(trace, IrawConfig(stabilization_cycles=1,
+                                        stable_enabled=False),
+                      name="broken")
+    describe("IRAW clock, STable OFF (what the mechanism prevents)", broken)
+
+    assert protected.value_mismatches == 0
+    assert broken.value_mismatches > 0
+    print("=> with the STable every forwarded value is correct; without "
+          "it, loads read half-written SRAM cells and the kernel's "
+          "results are garbage.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Full Vcc sweep: regenerate Figures 11(a), 11(b) and 12 as ASCII tables.
+
+This is the paper's whole evaluation story in one run: cycle times,
+frequency/performance gains and energy-delay product from 700 mV down to
+400 mV on the standard six-profile workload population.
+
+Run:  python examples/vcc_sweep.py [--step 50] [--length 6000]
+"""
+
+import argparse
+
+from repro.analysis.figures import (
+    figure1_series,
+    figure11a_series,
+    figure11b_series,
+    figure12_series,
+)
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import SweepSettings, VccSweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--step", type=float, default=50.0,
+                        help="Vcc step in mV (default 50)")
+    parser.add_argument("--length", type=int, default=6000,
+                        help="instructions per trace (default 6000)")
+    args = parser.parse_args()
+
+    print(format_table(
+        figure1_series(step_mv=args.step),
+        title="Figure 1: clock-phase delays (normalized to 12 FO4 @700mV)"))
+    print()
+    print(format_table(
+        figure11a_series(step_mv=args.step),
+        title="Figure 11(a): cycle time (normalized to 24 FO4 @700mV)"))
+    print()
+
+    sweep = VccSweep(SweepSettings(trace_length=args.length))
+    print("Simulating the workload population at each Vcc "
+          "(this is the slow part)...")
+    print()
+    print(format_table(
+        figure11b_series(sweep, step_mv=args.step),
+        columns=["vcc_mv", "frequency_gain", "performance_gain",
+                 "ipc_ratio", "stabilization_cycles", "iraw_delay_fraction"],
+        title="Figure 11(b): IRAW gains over the baseline "
+              "(paper: +57%/+48% @500mV, +99%/+90% @400mV)"))
+    print()
+    print(format_table(
+        figure12_series(sweep, step_mv=args.step),
+        title="Figure 12: relative energy / delay / EDP "
+              "(paper: EDP 0.61 @500mV, 0.33 @400mV)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro — reproduction of "High-Performance Low-Vcc In-Order Core" (HPCA 2010).
+
+The library implements IRAW (Immediate Read After Write) avoidance — the
+paper's technique for clocking an in-order core above the SRAM write-delay
+limit at low Vcc — together with every substrate the evaluation needs:
+
+* :mod:`repro.circuits` — calibrated delay/frequency/energy/area models;
+* :mod:`repro.isa` / :mod:`repro.workloads` — a mini ISA, synthetic trace
+  profiles and real kernels with golden-model semantics;
+* :mod:`repro.memory` / :mod:`repro.branch` — the Silverthorne-class
+  memory hierarchy and predictors;
+* :mod:`repro.core` — the IRAW mechanisms (scoreboard, IQ gate, STable,
+  fill guards, Vcc controller);
+* :mod:`repro.pipeline` — the cycle-level 2-wide in-order core;
+* :mod:`repro.baselines` — Table 1's Faulty Bits / Extra Bypass;
+* :mod:`repro.analysis` — the evaluation harness regenerating every
+  figure and table.
+
+Quickstart::
+
+    from repro import quick_comparison
+    print(quick_comparison(vcc_mv=500.0))
+"""
+
+from repro.circuits import ClockScheme, FrequencySolver
+from repro.core import IrawConfig, VccController
+from repro.pipeline import simulate
+from repro.workloads import SyntheticTraceGenerator, kernel_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClockScheme",
+    "FrequencySolver",
+    "IrawConfig",
+    "SyntheticTraceGenerator",
+    "VccController",
+    "kernel_trace",
+    "quick_comparison",
+    "simulate",
+    "__version__",
+]
+
+
+def quick_comparison(vcc_mv: float = 500.0,
+                     trace_length: int = 8_000) -> dict[str, float]:
+    """One-call headline result: IRAW vs baseline at one Vcc level.
+
+    Runs a small synthetic population and returns frequency gain,
+    performance gain and the IRAW stall statistics — the reproduction of
+    the paper's "57% frequency / 48% speedup at 500 mV" claim in miniature.
+    """
+    from repro.analysis import SweepSettings, VccSweep
+
+    sweep = VccSweep(SweepSettings(trace_length=trace_length))
+    return sweep.compare(vcc_mv)

@@ -1,0 +1,177 @@
+"""DVFS scenario: dynamic Vcc switching with IRAW reconfiguration.
+
+The paper motivates IRAW with mobile DVFS (Section 1) and stresses that
+every mechanism is reconfigurable per Vcc level by rewriting a handful of
+bits (Sections 4.1.3-4.4).  This module exercises that claim end to end: a
+workload runs through a *schedule* of Vcc phases; at each transition the
+pipeline drains (injecting the ``AI*N`` NOOPs of Section 4.2), the
+:class:`~repro.core.controller.VccController` reprograms the mechanisms,
+and execution resumes at the new frequency.
+
+Each phase is simulated at its own operating point (memory latency in
+cycles changes with frequency); phase wall-clock times, energies and the
+transition overheads are accumulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.circuits.energy import EnergyModel
+from repro.circuits.frequency import ClockScheme, FrequencySolver
+from repro.core.controller import VccController
+from repro.core.policy import IrawPolicy
+from repro.errors import ConfigError
+from repro.memory.hierarchy import MemoryConfig
+from repro.analysis.sweep import warm_caches
+from repro.pipeline.core import CoreSetup, InOrderCore
+from repro.pipeline.resources import PipelineParams
+from repro.workloads.trace import Trace
+
+#: Wall-clock cost of one Vcc/frequency transition (regulator settling).
+DEFAULT_TRANSITION_NS = 10_000.0
+
+
+@dataclass(frozen=True)
+class DvfsPhase:
+    """One schedule entry: run ``instructions`` ops at ``vcc_mv``."""
+
+    vcc_mv: float
+    instructions: int
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ConfigError("phase must cover at least one instruction")
+
+
+@dataclass
+class PhaseOutcome:
+    phase: DvfsPhase
+    frequency_mhz: float
+    stabilization_cycles: int
+    cycles: int
+    time_s: float
+    drain_noops: int
+
+
+@dataclass
+class DvfsOutcome:
+    """Aggregate result of a scheduled run."""
+
+    phases: list[PhaseOutcome]
+    transitions: int
+    transition_time_s: float
+
+    @property
+    def total_time_s(self) -> float:
+        return (sum(p.time_s for p in self.phases)
+                + self.transition_time_s)
+
+    @property
+    def instructions(self) -> int:
+        return sum(p.phase.instructions for p in self.phases)
+
+
+class DvfsScenario:
+    """Run a trace through a Vcc schedule under a clocking scheme."""
+
+    def __init__(self, scheme: ClockScheme = ClockScheme.IRAW,
+                 solver: FrequencySolver | None = None,
+                 params: PipelineParams | None = None,
+                 memory: MemoryConfig | None = None,
+                 dram_latency_ns: float = 80.0,
+                 transition_ns: float = DEFAULT_TRANSITION_NS,
+                 warm: bool = True):
+        self.scheme = scheme
+        self.solver = solver or FrequencySolver()
+        self.controller = VccController(self.solver, scheme)
+        self.params = params or PipelineParams()
+        self.memory = memory or MemoryConfig()
+        self.dram_latency_ns = dram_latency_ns
+        self.transition_ns = transition_ns
+        self.warm = warm
+
+    def run(self, trace: Trace, schedule: list[DvfsPhase]) -> DvfsOutcome:
+        """Execute ``trace`` phase by phase per ``schedule``.
+
+        The schedule must cover exactly the trace length.
+        """
+        covered = sum(phase.instructions for phase in schedule)
+        if covered != len(trace.ops):
+            raise ConfigError(
+                f"schedule covers {covered} instructions, trace has "
+                f"{len(trace.ops)}"
+            )
+        # A live policy instance survives across phases: the controller
+        # reprograms it at every transition, as the hardware would.
+        policy = IrawPolicy()
+        outcomes: list[PhaseOutcome] = []
+        cursor = 0
+        for phase in schedule:
+            config = self.controller.switch(policy, phase.vcc_mv)
+            point = config.point
+            dram_cycles = point.memory_latency_cycles(self.dram_latency_ns)
+            segment_ops = trace.ops[cursor:cursor + phase.instructions]
+            cursor += phase.instructions
+            segment = Trace(
+                name=f"{trace.name}@{phase.vcc_mv:g}mV",
+                ops=[_reindex(op, i) for i, op in enumerate(segment_ops)],
+                source=trace.source,
+                metadata=dict(trace.metadata),
+            )
+            setup = CoreSetup(
+                iraw=config.iraw,
+                params=self.params,
+                memory=replace(self.memory,
+                               dram_latency_cycles=dram_cycles),
+                name=f"dvfs-{self.scheme.value}",
+                check_values=False,
+            )
+            core = InOrderCore(setup)
+            core.policy = policy  # reuse the reprogrammed mechanisms
+            if self.warm:
+                warm_caches(core.memory, segment)
+            result = core.run(segment)
+            outcomes.append(PhaseOutcome(
+                phase=phase,
+                frequency_mhz=point.frequency_mhz,
+                stabilization_cycles=point.stabilization_cycles,
+                cycles=result.cycles,
+                time_s=result.cycles / (point.frequency_mhz * 1e6),
+                drain_noops=policy.iq_gate.drain_noops,
+            ))
+        transitions = len(schedule)
+        return DvfsOutcome(
+            phases=outcomes,
+            transitions=transitions,
+            transition_time_s=transitions * self.transition_ns * 1e-9,
+        )
+
+    def energy_j(self, outcome: DvfsOutcome,
+                 energy: EnergyModel | None = None) -> float:
+        """Total energy of a scheduled run (per-phase accounting)."""
+        model = energy or EnergyModel()
+        total = 0.0
+        share = 1.0 / max(1, outcome.instructions)
+        for phase_outcome in outcome.phases:
+            work = phase_outcome.phase.instructions * share
+            breakdown = model.task_energy(
+                phase_outcome.phase.vcc_mv,
+                execution_time_s=max(1e-12, phase_outcome.time_s),
+                work_fraction=work,
+                dynamic_overhead=0.01 if self.scheme is ClockScheme.IRAW
+                else 0.0,
+            )
+            total += breakdown.total_j
+        return total
+
+
+def _reindex(op, new_index: int):
+    """Copy a micro-op with a new dynamic index (trace slicing)."""
+    from repro.isa.instructions import MicroOp
+
+    clone = MicroOp.__new__(MicroOp)
+    for slot in MicroOp.__slots__:
+        setattr(clone, slot, getattr(op, slot))
+    clone.index = new_index
+    return clone

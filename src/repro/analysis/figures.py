@@ -1,0 +1,119 @@
+"""Regeneration of every figure and in-text number of the evaluation.
+
+Each function returns the data rows of one paper artifact; the benchmarks
+print them and assert the qualitative shape (who wins, where crossovers
+fall).  See DESIGN.md's experiment index for the mapping.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.area import AreaModel
+from repro.circuits.constants import default_delay_model
+from repro.circuits.delay import DelayModel
+from repro.circuits.ekv import voltage_grid
+from repro.circuits.energy import EnergyModel, paper_450mv_example
+from repro.circuits.frequency import ClockScheme, FrequencySolver
+from repro.analysis.sweep import VccSweep
+
+
+def figure1_series(model: DelayModel | None = None,
+                   step_mv: float = 25.0) -> list[dict[str, float]]:
+    """Figure 1: phase delays vs Vcc, normalized to 12 FO4 at 700 mV."""
+    model = model or default_delay_model()
+    return [model.figure1_row(vcc) for vcc in voltage_grid(step_mv)]
+
+
+def figure11a_series(solver: FrequencySolver | None = None,
+                     step_mv: float = 25.0) -> list[dict[str, float]]:
+    """Figure 11(a): cycle time vs Vcc for 24 FO4 / baseline / IRAW."""
+    solver = solver or FrequencySolver()
+    return solver.figure11a_series(step_mv)
+
+
+def figure11b_series(sweep: VccSweep,
+                     step_mv: float = 25.0) -> list[dict[str, float]]:
+    """Figure 11(b): frequency increase and performance gain vs Vcc."""
+    return [sweep.compare(vcc) for vcc in voltage_grid(step_mv)]
+
+
+def calibrated_energy_model(sweep: VccSweep) -> EnergyModel:
+    """An :class:`EnergyModel` whose reference task is the sweep's own
+    population: the baseline run at 600 mV defines the execution time at
+    which leakage is 10% of total energy (paper Section 5.1)."""
+    reference = sweep.run_point(600.0, ClockScheme.BASELINE)
+    return EnergyModel(reference_dynamic_j=0.9,
+                       reference_time_s=reference.execution_time_s)
+
+
+def figure12_series(sweep: VccSweep, energy: EnergyModel | None = None,
+                    step_mv: float = 25.0) -> list[dict[str, float]]:
+    """Figure 12: IRAW energy/delay/EDP relative to the baseline vs Vcc."""
+    energy = energy or calibrated_energy_model(sweep)
+    rows = []
+    for vcc in voltage_grid(step_mv):
+        baseline_time, iraw_time = sweep.execution_times(vcc)
+        rows.append(energy.relative_metrics(vcc, baseline_time, iraw_time))
+    return rows
+
+
+def energy_example_450(sweep: VccSweep,
+                       energy: EnergyModel | None = None) -> dict[str, dict]:
+    """The paper's Section 5.3 joule-accounting example at 450 mV."""
+    energy = energy or calibrated_energy_model(sweep)
+    unconstrained = sweep.run_point(450.0, ClockScheme.LOGIC)
+    baseline = sweep.run_point(450.0, ClockScheme.BASELINE)
+    iraw = sweep.run_point(450.0, ClockScheme.IRAW)
+    breakdowns = paper_450mv_example(
+        energy,
+        unconstrained_time_s=unconstrained.execution_time_s,
+        baseline_time_s=baseline.execution_time_s,
+        iraw_time_s=iraw.execution_time_s,
+    )
+    return {
+        name: {
+            "total_j": b.total_j,
+            "leakage_j": b.leakage_j,
+            "dynamic_j": b.dynamic_j,
+        }
+        for name, b in breakdowns.items()
+    }
+
+
+def overhead_report() -> dict[str, float]:
+    """Section 5.3: area and power overhead of the IRAW hardware."""
+    report = AreaModel().report()
+    return {
+        "extra_bits": report.extra_bits,
+        "extra_transistors": report.extra_transistors,
+        "area_overhead": report.area_overhead,
+        "power_overhead": report.power_overhead,
+    }
+
+
+def prediction_hazard_report(sweep: VccSweep,
+                             vcc_mv: float = 500.0) -> dict[str, float]:
+    """Section 4.5: BP/RSB potential-corruption statistics under IRAW."""
+    point = sweep.run_point(vcc_mv, ClockScheme.IRAW)
+    predictions = hazard_reads = flips = pops = hazard_pops = 0
+    full = set_only = 0
+    for result in point.results:
+        hazards = result.prediction_hazards
+        predictions += hazards["bp_predictions"]
+        hazard_reads += hazards["bp_hazard_reads"]
+        flips += hazards["bp_potential_flips"]
+        pops += hazards["rsb_pops"]
+        hazard_pops += hazards["rsb_hazard_pops"]
+        full += hazards["stable_full_matches"]
+        set_only += hazards["stable_set_matches"]
+    return {
+        "vcc_mv": vcc_mv,
+        "bp_predictions": predictions,
+        "bp_hazard_reads": hazard_reads,
+        "bp_potential_flips": flips,
+        "bp_potential_extra_misprediction_rate":
+            flips / predictions if predictions else 0.0,
+        "rsb_pops": pops,
+        "rsb_hazard_pops": hazard_pops,
+        "stable_full_matches": full,
+        "stable_set_matches": set_only,
+    }

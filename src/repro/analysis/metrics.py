@@ -1,0 +1,97 @@
+"""Aggregation metrics for trace populations.
+
+The paper reports aggregate speedups over 531 traces; we aggregate over
+our (smaller) trace population the standard way: instruction-weighted IPC
+for throughput-style numbers and geometric means for ratios.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuits.frequency import OperatingPoint
+from repro.pipeline.stats import SimulationResult
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (1.0 for an empty input)."""
+    values = list(values)
+    if not values:
+        return 1.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """All trace runs of one (Vcc, scheme) evaluation point."""
+
+    vcc_mv: float
+    scheme: str
+    point: OperatingPoint
+    results: tuple[SimulationResult, ...]
+
+    @property
+    def instructions(self) -> int:
+        return sum(r.instructions for r in self.results)
+
+    @property
+    def cycles(self) -> int:
+        return sum(r.cycles for r in self.results)
+
+    @property
+    def ipc(self) -> float:
+        """Instruction-weighted aggregate IPC."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def execution_time_s(self) -> float:
+        """Wall-clock time of the whole population at this frequency."""
+        return self.cycles / (self.point.frequency_mhz * 1e6)
+
+    @property
+    def iraw_violations(self) -> int:
+        return sum(r.iraw_violations for r in self.results)
+
+    @property
+    def value_mismatches(self) -> int:
+        return sum(r.value_mismatches for r in self.results)
+
+    @property
+    def mean_iraw_delay_fraction(self) -> float:
+        """Mean fraction of instructions delayed by the RF bubble."""
+        if not self.results:
+            return 0.0
+        return (sum(r.iraw_delay_fraction for r in self.results)
+                / len(self.results))
+
+    def stall_fraction(self, reasons) -> float:
+        """Fraction of all cycles stalled for any of ``reasons``."""
+        if not self.cycles:
+            return 0.0
+        stalled = sum(r.stalls.cycles[reason]
+                      for r in self.results for reason in reasons)
+        return stalled / self.cycles
+
+
+def speedup(baseline: PointResult, candidate: PointResult,
+            per_trace_geomean: bool = True) -> float:
+    """Wall-clock speedup of ``candidate`` over ``baseline``.
+
+    Both points must have run the same trace population.  With
+    ``per_trace_geomean`` the speedup is the geometric mean of per-trace
+    time ratios (the venue-standard aggregation); otherwise it is the
+    ratio of total execution times.
+    """
+    if not per_trace_geomean:
+        return baseline.execution_time_s / candidate.execution_time_s
+    f_base = baseline.point.frequency_mhz
+    f_cand = candidate.point.frequency_mhz
+    ratios = []
+    for rb, rc in zip(baseline.results, candidate.results):
+        time_base = rb.cycles / f_base
+        time_cand = rc.cycles / f_cand
+        ratios.append(time_base / time_cand)
+    return geometric_mean(ratios)

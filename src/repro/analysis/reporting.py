@@ -1,0 +1,50 @@
+"""ASCII reporting helpers shared by examples and benchmarks.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output readable and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: Iterable[Mapping[str, object]],
+                 columns: list[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[format_value(row.get(col, "")) for col in columns]
+                for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i])
+                                for i, cell in enumerate(r)))
+    return "\n".join(lines)
+
+
+def percent(value: float, digits: int = 1) -> str:
+    return f"{100.0 * value:.{digits}f}%"

@@ -1,0 +1,11 @@
+"""State-of-the-art comparators from the paper's Table 1."""
+
+from repro.baselines.extra_bypass import ExtraBypassBaseline
+from repro.baselines.faulty_bits import FaultyBitsBaseline
+from repro.baselines.freq_scaling import FrequencyScalingBaseline
+
+__all__ = [
+    "ExtraBypassBaseline",
+    "FaultyBitsBaseline",
+    "FrequencyScalingBaseline",
+]

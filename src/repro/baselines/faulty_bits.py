@@ -1,0 +1,140 @@
+"""The *Faulty Bits* alternative of Table 1 (paper refs [1, 22, 26]).
+
+Clock the SRAM arrays for a smaller variation margin (e.g. 4 sigma instead
+of 6 sigma) so writes fit a shorter cycle, and **disable** every cache line
+that contains a cell beyond that margin.  The paper's Table 1 critique,
+which this module quantifies:
+
+* **Does not work for all SRAM blocks** — the register file (and IQ) of an
+  in-order core need every entry, so they still require the 6-sigma write
+  margin: the honest core-level frequency gain is zero.  We also model the
+  *hypothetical* variant that pretends every block could take faulty bits,
+  to show the ceiling.
+* **IPC impact** — disabled lines shrink the caches and raise miss rates.
+* **Vcc adaptability** — a fault map is only valid for one Vcc; either the
+  arrays are re-tested at every level change or one map per level is
+  stored (we charge the storage for ``vcc_levels`` maps).
+* **Testing** — disabled hardware differs per die, making lock-step
+  multi-core test comparison nondeterministic (qualitative flag).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.circuits.frequency import ClockScheme, FrequencySolver, OperatingPoint
+from repro.circuits.variation import VariationModel
+from repro.core.config import IrawConfig
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemorySystem
+from repro.pipeline.core import CoreSetup
+
+
+@dataclass
+class FaultyBitsBaseline:
+    """Reduced-sigma clocking with per-line disable."""
+
+    solver: FrequencySolver
+    design_sigma: float = 4.0
+    #: Number of Vcc levels whose fault maps are stored on chip.
+    vcc_levels: int = 13
+    seed: int = 1
+    name: str = "faulty-bits"
+
+    def __post_init__(self) -> None:
+        self.variation = VariationModel(self.solver.delay_model)
+        reduced = self.variation.model_at_sigma(self.design_sigma)
+        self._reduced_solver = FrequencySolver(reduced)
+
+    # ------------------------------------------------------------------
+    # Frequency
+    # ------------------------------------------------------------------
+
+    def operating_point(self, vcc_mv: float,
+                        hypothetical_all_blocks: bool = False
+                        ) -> OperatingPoint:
+        """Core clock under Faulty Bits.
+
+        The honest variant is register-file-bound: the RF cannot disable
+        entries, so the cycle still fits a 6-sigma write and the clock is
+        the paper's baseline.  The hypothetical variant clocks for the
+        reduced margin everywhere.
+        """
+        if hypothetical_all_blocks:
+            return self._reduced_solver.operating_point(
+                vcc_mv, ClockScheme.BASELINE)
+        return self.solver.operating_point(vcc_mv, ClockScheme.BASELINE)
+
+    def combined_with_iraw_point(self, vcc_mv: float) -> OperatingPoint:
+        """Extension (paper Section 4.4, last paragraph): IRAW avoidance
+        *and* faulty bits combined.
+
+        IRAW removes the full-write constraint everywhere; additionally
+        designing the interrupted-write flip path for the reduced sigma
+        margin (disabling the weak lines in the caches) shortens the IRAW
+        phase further.  Returns the resulting operating point.
+        """
+        return self._reduced_solver.operating_point(vcc_mv, ClockScheme.IRAW)
+
+    # ------------------------------------------------------------------
+    # Cache degradation
+    # ------------------------------------------------------------------
+
+    def line_failure_probability(self, bits_per_line: int) -> float:
+        return self.variation.line_failure_probability(
+            self.design_sigma, bits_per_line)
+
+    def _disabled_ways(self, num_sets: int, assoc: int,
+                       bits_per_line: int, rng: random.Random) -> list[int]:
+        p_line = self.line_failure_probability(bits_per_line)
+        disabled = []
+        for _ in range(num_sets):
+            failed = sum(1 for _ in range(assoc) if rng.random() < p_line)
+            disabled.append(failed)
+        return disabled
+
+    def apply_to_memory(self, memory: MemorySystem) -> dict[str, float]:
+        """Replace the caches with disabled-way versions.
+
+        Returns the fraction of lines disabled per cache (for reports).
+        """
+        rng = random.Random(self.seed)
+        report: dict[str, float] = {}
+        for attr in ("il0", "dl0", "ul1"):
+            old: Cache = getattr(memory, attr)
+            bits_per_line = old.line_size * 8 + 30  # data + tag/state
+            disabled = self._disabled_ways(old.num_sets, old.associativity,
+                                           bits_per_line, rng)
+            replacement = Cache(old.name, old.size_bytes, old.associativity,
+                                old.line_size, old.hit_latency,
+                                disabled_ways=disabled)
+            setattr(memory, attr, replacement)
+            total_lines = old.num_sets * old.associativity
+            report[old.name] = sum(disabled) / total_lines
+        return report
+
+    # ------------------------------------------------------------------
+    # Costs and characteristics
+    # ------------------------------------------------------------------
+
+    def core_setup(self, vcc_mv: float) -> CoreSetup:
+        return CoreSetup(iraw=IrawConfig.disabled(), name=self.name)
+
+    def fault_map_bits(self) -> int:
+        """Fault-map storage: one bit per line per supported Vcc level."""
+        lines = (32 * 1024 // 64) + (24 * 1024 // 64) + (512 * 1024 // 64)
+        return lines * self.vcc_levels
+
+    def area_overhead(self, core_transistors: int = 47_000_000) -> float:
+        """Fault maps as SRAM bits over the core (paper-style accounting)."""
+        return self.fault_map_bits() * 8 / core_transistors
+
+    def characteristics(self) -> dict[str, object]:
+        return {
+            "works_for_all_sram_blocks": False,
+            "adapts_to_multiple_vcc": "costly (re-test or one map per level)",
+            "hardware_overhead": "fault maps",
+            "large_ipc_impact": True,
+            "hard_to_test": True,
+        }

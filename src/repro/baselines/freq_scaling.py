@@ -1,0 +1,41 @@
+"""The paper's baseline: scale frequency until full writes fit a cycle.
+
+No extra hardware, no IPC impact, works for every SRAM block, trivially
+adapts to any Vcc — but pays the full exponential write-delay slowdown
+(frequency down to ~24% of the logic-allowed clock at 450 mV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.frequency import ClockScheme, FrequencySolver, OperatingPoint
+from repro.core.config import IrawConfig
+from repro.pipeline.core import CoreSetup
+
+
+@dataclass
+class FrequencyScalingBaseline:
+    """Write-delay-limited clocking with mechanisms disabled."""
+
+    solver: FrequencySolver
+    name: str = "freq-scaling"
+
+    def operating_point(self, vcc_mv: float) -> OperatingPoint:
+        return self.solver.operating_point(vcc_mv, ClockScheme.BASELINE)
+
+    def core_setup(self, vcc_mv: float) -> CoreSetup:
+        return CoreSetup(iraw=IrawConfig.disabled(), name=self.name)
+
+    def area_overhead(self) -> float:
+        return 0.0
+
+    def characteristics(self) -> dict[str, object]:
+        """Qualitative Table 1 row."""
+        return {
+            "works_for_all_sram_blocks": True,
+            "adapts_to_multiple_vcc": True,
+            "hardware_overhead": "none",
+            "large_ipc_impact": False,
+            "hard_to_test": False,
+        }

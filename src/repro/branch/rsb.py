@@ -1,0 +1,67 @@
+"""Return stack buffer (the RSB block of Figure 3).
+
+A small circular stack: calls push their return address, returns pop the
+predicted target.  Under IRAW clocking the push is an SRAM write, so a
+return that pops **within N cycles of the matching call** could read a
+not-yet-stabilized entry (paper Section 4.5).  The paper "did not find any
+short function meeting those conditions"; we track the same statistic.
+
+The optional *determinism mode* implements the paper's suggested fix:
+"the RSB should be stalled after a call instruction" — the pipeline then
+delays such returns instead of risking nondeterministic predictions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class ReturnStackBuffer:
+    """Circular return-address stack with write-time tracking."""
+
+    def __init__(self, entries: int = 8):
+        if entries <= 0:
+            raise ConfigError("RSB needs at least one entry")
+        self.entries = entries
+        self._stack: list[tuple[int, int]] = []  # (return pc, written cycle)
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+        #: Pops that read an entry written within the hazard window.
+        self.hazard_pops = 0
+
+    def push(self, return_pc: int, cycle: int) -> None:
+        """Record a call's return address at ``cycle``."""
+        self.pushes += 1
+        if len(self._stack) >= self.entries:
+            # Circular overwrite: the oldest entry is lost.
+            self._stack.pop(0)
+        self._stack.append((return_pc, cycle))
+
+    def pop(self, cycle: int, hazard_window: int = 0) -> tuple[int | None, bool]:
+        """Predict a return target at ``cycle``.
+
+        Returns ``(predicted pc or None, hazardous)`` where ``hazardous``
+        means the popped entry was written within ``hazard_window`` cycles
+        — i.e. the prediction would read a not-yet-stabilized SRAM entry
+        under IRAW clocking.
+        """
+        self.pops += 1
+        if not self._stack:
+            self.underflows += 1
+            return None, False
+        return_pc, written_at = self._stack.pop()
+        hazardous = hazard_window > 0 and (cycle - written_at) <= hazard_window
+        if hazardous:
+            self.hazard_pops += 1
+        return return_pc, hazardous
+
+    def top_written_at(self) -> int | None:
+        """Cycle of the most recent push still on the stack (for stalls)."""
+        if not self._stack:
+            return None
+        return self._stack[-1][1]
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)

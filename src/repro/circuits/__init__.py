@@ -1,0 +1,49 @@
+"""Circuit-level models: delay vs Vcc, cycle time, energy, area.
+
+This subpackage is the substitute for the paper's Intel electrical
+simulations.  It provides:
+
+* :mod:`~repro.circuits.ekv` — continuous super/near-threshold current and
+  delay model;
+* :mod:`~repro.circuits.delay` — the five critical-path curves of Figure 1;
+* :mod:`~repro.circuits.calibration` — least-squares fit to the paper's
+  published anchor points;
+* :mod:`~repro.circuits.constants` — the pinned, calibrated model;
+* :mod:`~repro.circuits.frequency` — cycle-time/operating-point solver
+  (Figure 11a and the frequency-gain input of Figure 11b);
+* :mod:`~repro.circuits.energy` — energy/EDP model (Figure 12);
+* :mod:`~repro.circuits.variation` — sigma-margin model (Faulty Bits);
+* :mod:`~repro.circuits.area` — overhead accounting (Section 5.3);
+* :mod:`~repro.circuits.sram` — SRAM block inventory of the core.
+"""
+
+from repro.circuits.area import AreaModel, IrawHardwareBudget, OverheadReport
+from repro.circuits.array_timing import ArrayTiming, ArrayTimingModel
+from repro.circuits.constants import default_delay_model
+from repro.circuits.delay import DelayModel
+from repro.circuits.ekv import Device, voltage_grid
+from repro.circuits.energy import EnergyBreakdown, EnergyModel
+from repro.circuits.frequency import ClockScheme, FrequencySolver, OperatingPoint
+from repro.circuits.sram import SramArray, StructureClass, silverthorne_arrays
+from repro.circuits.variation import VariationModel
+
+__all__ = [
+    "AreaModel",
+    "ArrayTiming",
+    "ArrayTimingModel",
+    "ClockScheme",
+    "DelayModel",
+    "Device",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "FrequencySolver",
+    "IrawHardwareBudget",
+    "OperatingPoint",
+    "OverheadReport",
+    "SramArray",
+    "StructureClass",
+    "VariationModel",
+    "default_delay_model",
+    "silverthorne_arrays",
+    "voltage_grid",
+]

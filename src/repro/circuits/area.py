@@ -1,0 +1,117 @@
+"""Area and power overhead accounting for the IRAW hardware (paper §5.3).
+
+The paper estimates overhead "based on the size of the extra bits required
+... assuming latch-size bits" and a "pessimistic 20X activity factor for
+the extra hardware", concluding **below 0.03% area** and **below 1% power**.
+We reproduce that accounting:
+
+* every extra state bit costs one pulsed latch (~20 transistors, per the
+  paper's references [16, 23]);
+* the core total is Silverthorne's published 47 M transistors;
+* power overhead = extra switched capacitance (transistor-count proxy, with
+  the 20x activity factor) over the core's switched capacitance at a
+  typical activity factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.sram import SramArray, silverthorne_arrays
+
+#: Transistors per latch bit (pulsed latch, paper refs [16, 23]).
+TRANSISTORS_PER_LATCH_BIT = 20
+#: Transistors per 8-T SRAM bitcell.
+TRANSISTORS_PER_SRAM_BIT = 8
+#: Total transistor count of the Silverthorne core (ISSCC'08, paper ref [6]).
+CORE_TOTAL_TRANSISTORS = 47_000_000
+#: The paper's pessimistic activity factor for the extra IRAW hardware,
+#: expressed as a multiple of the core's *average* per-transistor activity.
+IRAW_ACTIVITY_FACTOR = 20.0
+
+
+@dataclass(frozen=True)
+class IrawHardwareBudget:
+    """Extra state added by the IRAW avoidance mechanisms.
+
+    Field defaults correspond to the paper's implementation for the
+    Silverthorne core (Section 4) with one bypass level and up to
+    ``max_stabilization_cycles`` of IRAW delay.
+    """
+
+    logical_registers: int = 32
+    bypass_levels: int = 1
+    max_stabilization_cycles: int = 2
+    #: STable: one entry per (stores-per-cycle x stabilization cycle).
+    stable_entries: int = 2
+    stable_address_bits: int = 32
+    stable_data_bits: int = 64
+    #: Blocks guarded by post-fill stall counters (IL0, UL1, ITLB, DTLB,
+    #: WCB/EB, FB — paper Section 4.3).
+    stall_guarded_blocks: int = 6
+    #: IQ occupancy-gate datapath width (Figure 9: tail/head subtract,
+    #: threshold add/compare over log2(IQ)+1 = 6-bit quantities).
+    iq_gate_bits: int = 24
+
+    @property
+    def scoreboard_extra_bits(self) -> int:
+        """Extra shift-register bits: (bypass levels + N) per logical reg."""
+        per_register = self.bypass_levels + self.max_stabilization_cycles
+        return self.logical_registers * per_register
+
+    @property
+    def stable_bits(self) -> int:
+        per_entry = 1 + self.stable_address_bits + self.stable_data_bits
+        return self.stable_entries * per_entry
+
+    @property
+    def stall_counter_bits(self) -> int:
+        counter_bits = max(1, (self.max_stabilization_cycles + 1).bit_length())
+        return self.stall_guarded_blocks * counter_bits
+
+    @property
+    def total_extra_bits(self) -> int:
+        return (self.scoreboard_extra_bits + self.stable_bits
+                + self.stall_counter_bits + self.iq_gate_bits)
+
+    @property
+    def extra_transistors(self) -> int:
+        return self.total_extra_bits * TRANSISTORS_PER_LATCH_BIT
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Relative area and power overhead of the IRAW hardware."""
+
+    extra_bits: int
+    extra_transistors: int
+    area_overhead: float
+    power_overhead: float
+
+
+@dataclass
+class AreaModel:
+    """Accounts the IRAW hardware against the whole core."""
+
+    budget: IrawHardwareBudget = field(default_factory=IrawHardwareBudget)
+    core_transistors: int = CORE_TOTAL_TRANSISTORS
+    arrays: list[SramArray] = field(default_factory=silverthorne_arrays)
+
+    def sram_transistors(self) -> int:
+        """Transistors in the core's SRAM arrays (subset of the total)."""
+        return sum(a.total_bits * TRANSISTORS_PER_SRAM_BIT for a in self.arrays)
+
+    def report(self) -> OverheadReport:
+        """Area and power overheads in the paper's accounting style."""
+        extra = self.budget.extra_transistors
+        area_overhead = extra / self.core_transistors
+        # Extra hardware switching at 20x the core's average activity:
+        # its power share is (extra * 20x) over the core's (total * 1x).
+        power_overhead = (extra * IRAW_ACTIVITY_FACTOR
+                          / self.core_transistors)
+        return OverheadReport(
+            extra_bits=self.budget.total_extra_bits,
+            extra_transistors=extra,
+            area_overhead=area_overhead,
+            power_overhead=power_overhead,
+        )

@@ -1,0 +1,120 @@
+"""Per-array timing composition: geometry-aware wordline/decoder delays.
+
+The paper's Figure 1 experiment measures one specific array — 1,024
+entries × 32 bits with wordlines partitioned into 8-bit groups "to
+optimize their delay" (Section 2.1) — and notes that wordline activation
+delay "depends on the particular characteristics of the SRAM array
+(mainly the number of bits per wordline)".
+
+This module extends the calibrated delay model from that reference array
+to any :class:`~repro.circuits.sram.SramArray` in the core:
+
+* **wordline delay** scales with the loaded wordline segment length
+  (bits per group), normalized to the reference array's 8-bit groups;
+* **decoder delay** scales logarithmically with the entry count (one
+  extra gate level per doubling), folded into the first clock phase and
+  therefore *not* cycle-limiting in the paper's two-phase scheme — but
+  reported for completeness;
+* read/write bitcell delays are geometry-independent (cell-level).
+
+The per-block analysis answers a question the paper leaves implicit:
+*which SRAM block actually limits the IRAW clock at each Vcc?*
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuits.delay import DelayModel
+from repro.circuits.sram import FIGURE1_ARRAY, SramArray, silverthorne_arrays
+
+#: Wordline delay grows with segment load; sub-linear exponent because
+#: drivers are upsized with the load (classic logical-effort behaviour).
+WORDLINE_LOAD_EXPONENT = 0.7
+
+
+@dataclass(frozen=True)
+class ArrayTiming:
+    """Phase-delay contributions of one SRAM array at one Vcc."""
+
+    array: SramArray
+    vcc_mv: float
+    wordline: float
+    decoder: float
+    write: float
+    flip: float
+    read: float
+
+    @property
+    def baseline_write_phase(self) -> float:
+        """Second-phase delay under baseline clocking (full write)."""
+        return self.wordline + self.write
+
+    @property
+    def iraw_write_phase(self) -> float:
+        """Second-phase delay under IRAW clocking (interrupted write)."""
+        return self.wordline + self.flip
+
+    @property
+    def read_phase(self) -> float:
+        return self.wordline + self.read
+
+
+class ArrayTimingModel:
+    """Geometry-aware delay composition on top of a calibrated model."""
+
+    def __init__(self, delay_model: DelayModel,
+                 reference: SramArray = FIGURE1_ARRAY):
+        self._delays = delay_model
+        self._reference = reference
+
+    def wordline_scale(self, array: SramArray) -> float:
+        """Wordline-delay multiplier vs the Figure 1 reference array."""
+        ratio = array.wordline_group_bits / self._reference.wordline_group_bits
+        return ratio ** WORDLINE_LOAD_EXPONENT
+
+    def decoder_scale(self, array: SramArray) -> float:
+        """Decoder-depth multiplier vs the reference (log2 of entries)."""
+        depth = max(1.0, math.log2(max(2, array.entries)))
+        reference_depth = max(1.0, math.log2(self._reference.entries))
+        return depth / reference_depth
+
+    def timing(self, array: SramArray, vcc_mv: float) -> ArrayTiming:
+        """All phase-delay components of ``array`` at ``vcc_mv``."""
+        base_wordline = self._delays.wordline(vcc_mv)
+        return ArrayTiming(
+            array=array,
+            vcc_mv=vcc_mv,
+            wordline=base_wordline * self.wordline_scale(array),
+            decoder=base_wordline * 0.5 * self.decoder_scale(array),
+            write=self._delays.write(vcc_mv),
+            flip=self._delays.flip(vcc_mv),
+            read=self._delays.read(vcc_mv),
+        )
+
+    def critical_block(self, vcc_mv: float,
+                       arrays: list[SramArray] | None = None,
+                       iraw: bool = True) -> ArrayTiming:
+        """The block whose write phase limits the clock at ``vcc_mv``."""
+        arrays = arrays if arrays is not None else silverthorne_arrays()
+        timings = [self.timing(array, vcc_mv) for array in arrays]
+        key = (lambda t: t.iraw_write_phase) if iraw \
+            else (lambda t: t.baseline_write_phase)
+        return max(timings, key=key)
+
+    def block_report(self, vcc_mv: float) -> list[dict[str, float]]:
+        """Per-block phase delays at one Vcc (analysis/bench payload)."""
+        logic = self._delays.logic(vcc_mv)
+        rows = []
+        for array in silverthorne_arrays():
+            timing = self.timing(array, vcc_mv)
+            rows.append({
+                "block": array.name,
+                "wordline_bits": array.wordline_group_bits,
+                "baseline_phase_vs_logic":
+                    timing.baseline_write_phase / logic,
+                "iraw_phase_vs_logic": timing.iraw_write_phase / logic,
+                "read_phase_vs_logic": timing.read_phase / logic,
+            })
+        return rows

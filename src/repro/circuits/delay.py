@@ -1,0 +1,121 @@
+"""Delay model for the SRAM/logic critical paths of the paper's Figure 1.
+
+The model distinguishes five critical paths, all functions of Vcc:
+
+``logic``
+    A chain of 12 FO4 inverters — the paper's proxy for the slowest
+    combinational path during one clock phase.
+``wordline``
+    Wordline activation delay.  The paper observes its slope "resembles
+    that of the 12 FO4 chain", so it is modeled as a fixed fraction of the
+    logic delay.
+``read``
+    8-T bitcell read-bitline delay.  The read port transistors can be sized
+    without harming write delay, so read delay stays below the 12 FO4 chain
+    across the whole voltage range (paper, Section 2.1).
+``write``
+    Full bitcell write delay (80% internal swing) of a 6-sigma weak cell —
+    the exponentially growing curve that limits the baseline cycle time.
+``flip``
+    The *interrupted write* delay: the bitline-assisted time needed to push
+    the weak cell past its metastable point so that, after the wordline is
+    deactivated, it completes the flip on its own (paper, Section 3.2).
+    This is the write-side path that limits the IRAW cycle time.
+
+All delays are normalized so that ``logic`` at 700 mV equals 1.0 (one clock
+phase).  A full cycle is two phases (the paper's Figure 11 uses 24 FO4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.ekv import Device, check_voltage
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Critical-path delays of the core's SRAM blocks versus Vcc.
+
+    Instances are normally obtained from
+    :func:`repro.circuits.constants.default_delay_model`, which carries the
+    parameters calibrated against the paper's published anchor points.
+    """
+
+    logic_device: Device
+    write_device: Device
+    flip_device: Device
+    wordline_fraction: float
+    read_fraction: float
+    #: Slowdown of the unassisted (post-interruption) part of the bitcell
+    #: flip relative to the bitline-assisted write (gamma >= 1).
+    stabilization_slowdown: float
+
+    def logic(self, vcc_mv: float) -> float:
+        """Delay of one clock phase of logic (12 FO4), normalized."""
+        return self.logic_device.delay(vcc_mv)
+
+    def wordline(self, vcc_mv: float) -> float:
+        """Wordline activation delay."""
+        return self.wordline_fraction * self.logic(vcc_mv)
+
+    def read(self, vcc_mv: float) -> float:
+        """Bitcell read-bitline delay (excluding wordline activation)."""
+        return self.read_fraction * self.logic(vcc_mv)
+
+    def write(self, vcc_mv: float) -> float:
+        """Full bitcell write delay (excluding wordline activation)."""
+        return self.write_device.delay(vcc_mv)
+
+    def flip(self, vcc_mv: float) -> float:
+        """Bitline-assisted delay to push the cell past its flip point."""
+        return self.flip_device.delay(vcc_mv)
+
+    def stabilization_time(self, vcc_mv: float, assisted_time: float) -> float:
+        """Time for a cell to become readable after an interrupted write.
+
+        Parameters
+        ----------
+        vcc_mv:
+            Supply voltage.
+        assisted_time:
+            How long the wordline was active (bitline-assisted write time
+            actually granted before the interruption).
+
+        Returns
+        -------
+        float
+            Remaining time until the cell completes its swing, with the
+            unassisted portion slowed down by ``stabilization_slowdown``
+            (the cell "must complete the flip on its own, with no further
+            help from the bitlines" — paper, Section 3.2).  Zero if the
+            write already completed within ``assisted_time``.
+        """
+        check_voltage(vcc_mv)
+        remaining = self.write(vcc_mv) - assisted_time
+        if remaining <= 0.0:
+            return 0.0
+        return self.stabilization_slowdown * remaining
+
+    # ------------------------------------------------------------------
+    # Figure 1 composite curves
+    # ------------------------------------------------------------------
+
+    def write_with_wordline(self, vcc_mv: float) -> float:
+        """Bitcell write delay + wordline activation (Figure 1 thick line)."""
+        return self.write(vcc_mv) + self.wordline(vcc_mv)
+
+    def read_with_wordline(self, vcc_mv: float) -> float:
+        """Bitline read delay + wordline activation (Figure 1 dotted line)."""
+        return self.read(vcc_mv) + self.wordline(vcc_mv)
+
+    def figure1_row(self, vcc_mv: float) -> dict[str, float]:
+        """All five Figure 1 series at one voltage, normalized units."""
+        return {
+            "vcc_mv": vcc_mv,
+            "logic_12fo4": self.logic(vcc_mv),
+            "bitcell_write": self.write(vcc_mv),
+            "bitcell_read": self.read(vcc_mv),
+            "write_plus_wordline": self.write_with_wordline(vcc_mv),
+            "read_plus_wordline": self.read_with_wordline(vcc_mv),
+        }

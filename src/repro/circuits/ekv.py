@@ -1,0 +1,116 @@
+"""Continuous super/near/sub-threshold MOSFET current and delay model.
+
+The paper derives its delay-vs-Vcc curves from Intel electrical simulations
+of 45 nm devices between 700 mV and 400 mV, a range spanning super-threshold
+down to near-threshold operation.  We substitute an EKV-style interpolation
+of drain current, which is the standard analytical form that is accurate in
+both regimes and transitions smoothly between them:
+
+    I(V) = Is * [ln(1 + exp((V - Vth) / (2 * n * vT)))]**2
+
+* In strong inversion (V >> Vth) the log term approaches (V - Vth)/(2*n*vT),
+  so I ~ (V - Vth)^2 — the classic square-law.
+* In weak inversion (V << Vth) it approaches exp((V - Vth)/(n*vT)) — the
+  exponential sub-threshold law responsible for the paper's "write delay
+  grows exponentially" observation.
+
+Gate delay follows the usual CV/I form: a stage driving capacitance C
+through a swing proportional to V takes time
+
+    D(V) = kd * V / I(V)
+
+All delays in this package are reported in arbitrary units; the convention
+throughout the library is that **one clock phase of 12 FO4 inverters at
+700 mV equals 1.0** (the normalization used by the paper's Figure 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import VoltageRangeError
+
+#: Thermal voltage kT/q at ~300 K, in millivolts.
+THERMAL_VOLTAGE_MV = 25.85
+
+#: Modeled operating range, in millivolts (the paper's Figure 1 x-axis).
+VCC_MIN_MV = 400.0
+VCC_MAX_MV = 700.0
+
+
+def softplus(x: float) -> float:
+    """Numerically stable ln(1 + exp(x))."""
+    if x > 35.0:
+        return x
+    if x < -35.0:
+        return math.exp(x)
+    return math.log1p(math.exp(x))
+
+
+@dataclass(frozen=True)
+class Device:
+    """A lumped device (or critical path) characterized by EKV parameters.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"bitcell-write-6sigma"``.
+    vth_mv:
+        Effective threshold voltage in millivolts.  Process variation is
+        folded in here: a 6-sigma weak bitcell is modeled as an otherwise
+        identical device with a raised effective Vth.
+    n:
+        Sub-threshold slope factor (dimensionless, typically 1.0-1.6).
+    kd:
+        Delay scale factor (arbitrary units).  Fixes the magnitude of
+        ``delay`` relative to other devices.
+    """
+
+    name: str
+    vth_mv: float
+    n: float
+    kd: float
+
+    def current(self, vcc_mv: float) -> float:
+        """Normalized on-current at supply ``vcc_mv`` (arbitrary units)."""
+        x = (vcc_mv - self.vth_mv) / (2.0 * self.n * THERMAL_VOLTAGE_MV)
+        s = softplus(x)
+        return s * s
+
+    def delay(self, vcc_mv: float) -> float:
+        """CV/I delay at supply ``vcc_mv`` (arbitrary units).
+
+        Raises
+        ------
+        VoltageRangeError
+            If ``vcc_mv`` lies outside the modeled [400, 700] mV window.
+        """
+        check_voltage(vcc_mv)
+        return self.kd * vcc_mv / self.current(vcc_mv)
+
+    def scaled_to(self, vcc_mv: float, target_delay: float) -> "Device":
+        """Return a copy whose delay at ``vcc_mv`` equals ``target_delay``."""
+        base = self.delay(vcc_mv)
+        return Device(self.name, self.vth_mv, self.n, self.kd * target_delay / base)
+
+
+def check_voltage(vcc_mv: float) -> None:
+    """Validate that a supply voltage is within the modeled range."""
+    if not (VCC_MIN_MV <= vcc_mv <= VCC_MAX_MV):
+        raise VoltageRangeError(
+            f"Vcc={vcc_mv} mV outside modeled range "
+            f"[{VCC_MIN_MV}, {VCC_MAX_MV}] mV"
+        )
+
+
+def voltage_grid(step_mv: float = 25.0) -> list[float]:
+    """The paper's Vcc sweep: 700 mV down to 400 mV in ``step_mv`` steps."""
+    if step_mv <= 0:
+        raise VoltageRangeError(f"step_mv must be positive, got {step_mv}")
+    grid = []
+    v = VCC_MAX_MV
+    while v >= VCC_MIN_MV - 1e-9:
+        grid.append(round(v, 3))
+        v -= step_mv
+    return grid

@@ -1,0 +1,97 @@
+"""SRAM array descriptors for the Silverthorne-class core.
+
+The paper's Figure 1 experiment uses an array of 1,024 entries x 32 bits
+with wordlines partitioned into 8-bit groups; its core (Figure 3) contains
+eleven SRAM blocks.  This module describes those arrays structurally —
+capacity, geometry, ports — so the area model, the Faulty Bits baseline and
+the pipeline can share one inventory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class StructureClass(str, Enum):
+    """The paper's five-way classification of SRAM blocks (Section 3.1)."""
+
+    REGISTER_FILE = "register_file"
+    INSTRUCTION_QUEUE = "instruction_queue"
+    INFREQUENT_WRITE = "infrequently_written_cache_like"
+    FREQUENT_WRITE = "frequently_written_cache_like"
+    PREDICTION_ONLY = "prediction_only_cache_like"
+
+
+@dataclass(frozen=True)
+class SramArray:
+    """One SRAM block of the core.
+
+    Attributes
+    ----------
+    name:
+        Block name as used in the paper's Figure 3 (e.g. ``"DL0"``).
+    entries:
+        Number of addressable entries (rows as seen by the pipeline).
+    bits_per_entry:
+        Data bits per entry, including tags/valid where applicable.
+    structure_class:
+        Which IRAW avoidance strategy applies (paper Section 3.1).
+    wordline_group_bits:
+        Wordline partitioning (the Figure 1 array partitions wordlines
+        into 8-bit groups to optimize their delay).
+    """
+
+    name: str
+    entries: int
+    bits_per_entry: int
+    structure_class: StructureClass
+    wordline_group_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0 or self.bits_per_entry <= 0:
+            raise ValueError(f"{self.name}: entries and bits must be positive")
+        if self.wordline_group_bits <= 0:
+            raise ValueError(f"{self.name}: wordline group must be positive")
+
+    @property
+    def total_bits(self) -> int:
+        return self.entries * self.bits_per_entry
+
+    @property
+    def wordline_groups_per_entry(self) -> int:
+        return -(-self.bits_per_entry // self.wordline_group_bits)
+
+
+#: The array used for the paper's Figure 1 electrical experiment.
+FIGURE1_ARRAY = SramArray(
+    name="figure1-experiment",
+    entries=1024,
+    bits_per_entry=32,
+    structure_class=StructureClass.INFREQUENT_WRITE,
+    wordline_group_bits=8,
+)
+
+
+def silverthorne_arrays() -> list[SramArray]:
+    """The eleven SRAM blocks of the paper's Figure 3 core.
+
+    Capacities follow published Silverthorne parameters: 32 KB IL0,
+    24 KB DL0, 512 KB UL1, all with 64-byte lines; tag bits are folded
+    into ``bits_per_entry`` (approximately 7% for the caches).
+    """
+    line_bits = 64 * 8
+    tag_bits = 30
+    return [
+        SramArray("RF", 32, 64, StructureClass.REGISTER_FILE),
+        SramArray("IQ", 32, 96, StructureClass.INSTRUCTION_QUEUE),
+        SramArray("IL0", 512, line_bits + tag_bits, StructureClass.INFREQUENT_WRITE),
+        SramArray("UL1", 8192, line_bits + tag_bits, StructureClass.INFREQUENT_WRITE),
+        SramArray("ITLB", 16, 90, StructureClass.INFREQUENT_WRITE),
+        SramArray("DTLB", 16, 90, StructureClass.INFREQUENT_WRITE),
+        SramArray("WCB_EB", 8, line_bits + tag_bits, StructureClass.INFREQUENT_WRITE),
+        SramArray("FB", 8, line_bits + tag_bits, StructureClass.INFREQUENT_WRITE),
+        SramArray("DL0", 384, line_bits + tag_bits, StructureClass.FREQUENT_WRITE),
+        SramArray("BP", 4096, 2, StructureClass.PREDICTION_ONLY),
+        SramArray("RSB", 8, 32, StructureClass.PREDICTION_ONLY),
+    ]

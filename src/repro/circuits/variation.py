@@ -1,0 +1,86 @@
+"""Process-variation model for bitcell threshold voltage.
+
+The paper designs the baseline cycle time for **6-sigma** weak cells ("only
+one critical path per billion would not fit the cycle time", Section 2.1).
+The *Faulty Bits* alternative (Table 1) instead clocks for a smaller sigma
+margin and disables the cells that fall beyond it.
+
+We model cell-to-cell threshold variation as Gaussian: a k-sigma cell has
+its effective Vth raised by ``k * vth_sigma_mv`` relative to the typical
+cell.  The calibrated write device in :mod:`repro.circuits.constants`
+represents the 6-sigma cell; this module derives the devices (and failure
+probabilities) for other design margins from it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuits.delay import DelayModel
+from repro.circuits.ekv import Device
+
+#: Design margin used by the paper's baseline.
+BASELINE_SIGMA = 6.0
+
+#: Per-sigma effective-Vth shift, in millivolts.  45 nm SRAM Vth sigma is
+#: on the order of 20-40 mV; the *effective lumped path* shift per sigma is
+#: smaller because only part of the write path is a single minimum-size
+#: device.  10 mV/sigma keeps 4-sigma operation meaningfully faster than
+#: 6-sigma without making the write path collapse to the logic delay.
+VTH_MV_PER_SIGMA = 10.0
+
+
+def gaussian_tail(sigma: float) -> float:
+    """P(Z > sigma) for a standard normal — the per-cell failure rate."""
+    return 0.5 * math.erfc(sigma / math.sqrt(2.0))
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Derives delay models and failure rates at other sigma margins."""
+
+    base_model: DelayModel
+    vth_mv_per_sigma: float = VTH_MV_PER_SIGMA
+    baseline_sigma: float = BASELINE_SIGMA
+
+    def write_device_at_sigma(self, sigma: float) -> Device:
+        """Write device for a cell at ``sigma`` deviations from typical."""
+        base = self.base_model.write_device
+        shift = (sigma - self.baseline_sigma) * self.vth_mv_per_sigma
+        return Device(
+            f"bitcell-write-{sigma:g}sigma",
+            base.vth_mv + shift,
+            base.n,
+            base.kd,
+        )
+
+    def model_at_sigma(self, sigma: float) -> DelayModel:
+        """A full delay model whose write path targets ``sigma`` cells.
+
+        Used by the Faulty Bits baseline: clocking for 4-sigma cells makes
+        write delay smaller (higher frequency) but every cell beyond
+        4 sigma can no longer be written reliably and must be disabled.
+        """
+        flip = self.base_model.flip_device
+        shift = (sigma - self.baseline_sigma) * self.vth_mv_per_sigma
+        return DelayModel(
+            logic_device=self.base_model.logic_device,
+            write_device=self.write_device_at_sigma(sigma),
+            flip_device=Device(flip.name, flip.vth_mv + shift, flip.n, flip.kd),
+            wordline_fraction=self.base_model.wordline_fraction,
+            read_fraction=self.base_model.read_fraction,
+            stabilization_slowdown=self.base_model.stabilization_slowdown,
+        )
+
+    def cell_failure_probability(self, design_sigma: float) -> float:
+        """Fraction of cells unusable when clocking for ``design_sigma``."""
+        return gaussian_tail(design_sigma)
+
+    def line_failure_probability(self, design_sigma: float,
+                                 bits_per_line: int) -> float:
+        """Probability a cache line contains at least one unusable cell."""
+        if bits_per_line <= 0:
+            raise ValueError("bits_per_line must be positive")
+        p_cell = self.cell_failure_probability(design_sigma)
+        return 1.0 - (1.0 - p_cell) ** bits_per_line

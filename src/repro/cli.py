@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``figures``   regenerate the paper's figures as ASCII tables
+``compare``   baseline-vs-IRAW comparison at chosen Vcc levels
+``simulate``  run one kernel or synthetic trace on the pipeline
+``trace``     generate a synthetic trace and save it to a file
+``kernels``   list the built-in kernels
+``calibrate`` re-run the circuit-model fit and report the anchors
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.figures import (
+    figure1_series,
+    figure11a_series,
+    figure11b_series,
+    figure12_series,
+)
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import SweepSettings, VccSweep, warm_caches
+from repro.circuits.frequency import ClockScheme, FrequencySolver
+from repro.core.config import IrawConfig
+from repro.memory.hierarchy import MemoryConfig
+from repro.pipeline.core import CoreSetup, InOrderCore
+from repro.workloads.kernels import KERNEL_BUILDERS, kernel_trace
+from repro.workloads.profiles import PROFILES_BY_NAME
+from repro.workloads.synthetic import SyntheticTraceGenerator
+from repro.workloads.traceio import load_trace, save_trace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'High-Performance Low-Vcc In-Order "
+                    "Core' (HPCA 2010)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("--artifact", default="circuit",
+                         choices=["fig1", "fig11a", "fig11b", "fig12",
+                                  "circuit", "all"],
+                         help="'circuit' = fig1+fig11a (fast); 'all' "
+                              "includes the simulated figures")
+    figures.add_argument("--step", type=float, default=25.0)
+    figures.add_argument("--length", type=int, default=6000)
+
+    compare = sub.add_parser("compare", help="baseline vs IRAW at Vcc levels")
+    compare.add_argument("--vcc", type=float, nargs="+",
+                         default=[575.0, 500.0, 450.0, 400.0])
+    compare.add_argument("--length", type=int, default=6000)
+
+    simulate = sub.add_parser("simulate", help="run one workload")
+    source = simulate.add_mutually_exclusive_group(required=True)
+    source.add_argument("--kernel", choices=sorted(KERNEL_BUILDERS))
+    source.add_argument("--profile", choices=sorted(PROFILES_BY_NAME))
+    source.add_argument("--trace-file", help="JSON-lines trace file")
+    simulate.add_argument("--size", type=int, default=32,
+                          help="kernel problem size")
+    simulate.add_argument("--length", type=int, default=6000,
+                          help="synthetic trace length")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--vcc", type=float, default=500.0)
+    simulate.add_argument("--scheme", default="iraw",
+                          choices=["baseline", "iraw", "logic"])
+    simulate.add_argument("--cold", action="store_true",
+                          help="skip the cache warmup pass")
+
+    trace = sub.add_parser("trace", help="generate and save a trace")
+    trace.add_argument("--profile", required=True,
+                       choices=sorted(PROFILES_BY_NAME))
+    trace.add_argument("--length", type=int, default=10_000)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", required=True)
+
+    sub.add_parser("kernels", help="list built-in kernels")
+    sub.add_parser("calibrate", help="re-fit the circuit model")
+    return parser
+
+
+def _cmd_figures(args) -> int:
+    wanted = args.artifact
+    if wanted in ("fig1", "circuit", "all"):
+        print(format_table(figure1_series(step_mv=args.step),
+                           title="Figure 1"))
+        print()
+    if wanted in ("fig11a", "circuit", "all"):
+        print(format_table(figure11a_series(step_mv=args.step),
+                           title="Figure 11(a)"))
+        print()
+    if wanted in ("fig11b", "fig12", "all"):
+        sweep = VccSweep(SweepSettings(trace_length=args.length))
+        if wanted in ("fig11b", "all"):
+            print(format_table(figure11b_series(sweep, step_mv=args.step),
+                               title="Figure 11(b)"))
+            print()
+        if wanted in ("fig12", "all"):
+            print(format_table(figure12_series(sweep, step_mv=args.step),
+                               title="Figure 12"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    sweep = VccSweep(SweepSettings(trace_length=args.length))
+    rows = [sweep.compare(vcc) for vcc in args.vcc]
+    print(format_table(rows, title="IRAW vs baseline"))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    if args.kernel:
+        trace, _ = kernel_trace(args.kernel, args.size)
+    elif args.profile:
+        generator = SyntheticTraceGenerator(PROFILES_BY_NAME[args.profile],
+                                            seed=args.seed)
+        trace = generator.generate(args.length)
+    else:
+        trace = load_trace(args.trace_file)
+
+    solver = FrequencySolver()
+    scheme = ClockScheme(args.scheme)
+    point = solver.operating_point(args.vcc, scheme)
+    iraw = (IrawConfig.for_operating_point(point)
+            if scheme is ClockScheme.IRAW else IrawConfig.disabled())
+    memory = MemoryConfig(
+        dram_latency_cycles=point.memory_latency_cycles(80.0))
+    core = InOrderCore(CoreSetup(iraw=iraw, memory=memory,
+                                 name=f"{scheme.value}@{args.vcc:g}mV"))
+    if not args.cold:
+        warm_caches(core.memory, trace)
+    result = core.run(trace)
+
+    print(f"trace:        {trace.name} ({len(trace)} instructions)")
+    print(f"operating at: {point.frequency_mhz:.1f} MHz "
+          f"({scheme.value}, {args.vcc:g} mV, N={point.stabilization_cycles})")
+    print(f"cycles:       {result.cycles}")
+    print(f"IPC:          {result.ipc:.3f}")
+    print(f"mispredicts:  {result.mispredict_rate:.3%}")
+    print(f"IRAW delayed: {result.iraw_delay_fraction:.3%}")
+    print(f"violations:   {result.iraw_violations}")
+    if trace.has_golden_values():
+        print(f"golden-value mismatches: {result.value_mismatches}")
+    breakdown = result.stall_breakdown()
+    if breakdown:
+        print("stalls:", ", ".join(f"{name}={fraction:.1%}"
+                                   for name, fraction in sorted(
+                                       breakdown.items(),
+                                       key=lambda kv: -kv[1])))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    generator = SyntheticTraceGenerator(PROFILES_BY_NAME[args.profile],
+                                        seed=args.seed)
+    trace = generator.generate(args.length)
+    save_trace(trace, args.out)
+    print(f"wrote {len(trace)} instructions to {args.out}")
+    return 0
+
+
+def _cmd_kernels() -> int:
+    from repro.workloads.kernels import build_kernel
+    for name in sorted(KERNEL_BUILDERS):
+        spec = build_kernel(name, 8)
+        print(f"{name:15s} {spec.description}")
+    return 0
+
+
+def _cmd_calibrate() -> int:
+    from repro.circuits.calibration import anchor_report, fit_model
+    model = fit_model()
+    rows = [{"anchor": a.name, "target": a.target, "achieved": a.achieved,
+             "error": a.relative_error} for a in anchor_report(model)]
+    print(format_table(rows, title="Calibration anchors"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "kernels":
+        return _cmd_kernels()
+    if args.command == "calibrate":
+        return _cmd_calibrate()
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Configuration of the IRAW avoidance mechanisms.
+
+One :class:`IrawConfig` describes which mechanisms are active and with what
+stabilization depth N.  The usual way to obtain one is
+:meth:`IrawConfig.for_operating_point`, which takes the
+:class:`~repro.circuits.frequency.OperatingPoint` resolved by the frequency
+solver: N comes straight from the circuit model, and everything is disabled
+when N is zero (writes complete in-cycle, paper Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.branch.iraw_effects import DeterminismMode
+from repro.circuits.frequency import OperatingPoint
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class IrawConfig:
+    """Active IRAW avoidance mechanisms and their shared parameters.
+
+    Attributes
+    ----------
+    stabilization_cycles:
+        N — cycles a freshly written SRAM entry needs before it is
+        readable.  Zero disables everything.
+    bypass_levels:
+        Depth of the bypass network (the paper's running example uses 1).
+    rf_enabled / iq_enabled / cache_guards_enabled / stable_enabled:
+        Per-structure-class switches, normally all-on when N > 0.  They
+        exist separately so ablation studies can turn mechanisms off and
+        observe the resulting correctness violations.
+    determinism_mode:
+        Strategy for the prediction-only blocks (paper Section 4.5).
+    max_stabilization_cycles:
+        Physical sizing of the shift registers/STable; N may be
+        reconfigured at runtime up to this bound (multi-Vcc operation,
+        paper Section 4.1.3).
+    """
+
+    stabilization_cycles: int = 0
+    bypass_levels: int = 1
+    rf_enabled: bool = True
+    iq_enabled: bool = True
+    cache_guards_enabled: bool = True
+    stable_enabled: bool = True
+    determinism_mode: DeterminismMode = DeterminismMode.IGNORE
+    max_stabilization_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        if self.stabilization_cycles < 0:
+            raise ConfigError("stabilization_cycles cannot be negative")
+        if self.stabilization_cycles > self.max_stabilization_cycles:
+            raise ConfigError(
+                f"N={self.stabilization_cycles} exceeds the hardware sizing "
+                f"max_stabilization_cycles={self.max_stabilization_cycles}"
+            )
+        if self.bypass_levels < 0:
+            raise ConfigError("bypass_levels cannot be negative")
+
+    @property
+    def active(self) -> bool:
+        """True when any IRAW avoidance is needed."""
+        return self.stabilization_cycles > 0
+
+    @classmethod
+    def disabled(cls) -> "IrawConfig":
+        """Baseline configuration: writes complete within their cycle."""
+        return cls(stabilization_cycles=0)
+
+    @classmethod
+    def for_operating_point(cls, point: OperatingPoint,
+                            **overrides) -> "IrawConfig":
+        """Derive the configuration the Vcc controller would program."""
+        base = cls(stabilization_cycles=point.stabilization_cycles)
+        return replace(base, **overrides) if overrides else base
+
+    def with_stabilization(self, cycles: int) -> "IrawConfig":
+        """Reconfigured copy for a new Vcc level (N changes, sizing fixed)."""
+        return replace(self, stabilization_cycles=cycles)

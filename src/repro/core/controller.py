@@ -1,0 +1,79 @@
+"""The multi-Vcc controller (paper Sections 4.1.3, 4.2, 4.3, 4.4).
+
+Mobile parts change Vcc/frequency aggressively (DVFS).  Every mechanism in
+this library is reconfigurable by writing a handful of bits: the shift
+register init patterns, the IQ threshold, the guard counters and the
+number of active STable entries.  :class:`VccController` is the piece that
+decides, per Vcc level, the operating frequency (via the circuit model)
+and the IRAW configuration, and sequences the switch (drain, reprogram,
+resume — with the ``AI*N`` NOOP injection of Section 4.2 handled by the
+pipeline's drain hook).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.frequency import ClockScheme, FrequencySolver, OperatingPoint
+from repro.core.config import IrawConfig
+from repro.core.policy import IrawPolicy
+
+
+@dataclass(frozen=True)
+class CoreOperatingConfig:
+    """Everything the pipeline needs for one Vcc level."""
+
+    vcc_mv: float
+    point: OperatingPoint
+    iraw: IrawConfig
+
+    @property
+    def frequency_mhz(self) -> float:
+        return self.point.frequency_mhz
+
+
+class VccController:
+    """Resolves Vcc levels into core operating configurations."""
+
+    def __init__(self, solver: FrequencySolver | None = None,
+                 scheme: ClockScheme = ClockScheme.IRAW,
+                 max_stabilization_cycles: int = 2):
+        self._solver = solver or FrequencySolver()
+        self._scheme = scheme
+        self._max_n = max_stabilization_cycles
+        self._switches = 0
+
+    @property
+    def solver(self) -> FrequencySolver:
+        return self._solver
+
+    @property
+    def scheme(self) -> ClockScheme:
+        return self._scheme
+
+    @property
+    def switches(self) -> int:
+        """How many Vcc transitions have been sequenced."""
+        return self._switches
+
+    def resolve(self, vcc_mv: float, **iraw_overrides) -> CoreOperatingConfig:
+        """Operating configuration for ``vcc_mv`` under this scheme."""
+        point = self._solver.operating_point(vcc_mv, self._scheme)
+        iraw = IrawConfig.for_operating_point(
+            point, max_stabilization_cycles=self._max_n, **iraw_overrides)
+        return CoreOperatingConfig(vcc_mv=vcc_mv, point=point, iraw=iraw)
+
+    def switch(self, policy: IrawPolicy, vcc_mv: float,
+               **iraw_overrides) -> CoreOperatingConfig:
+        """Sequence a Vcc change on a live policy.
+
+        The caller (pipeline) must have drained in-flight instructions
+        first — including the NOOP injection that pushes the last real
+        instructions out of the gated IQ.  This method then reprograms
+        every mechanism for the new level.
+        """
+        config = self.resolve(vcc_mv, **iraw_overrides)
+        policy.flush()
+        policy.apply(config.iraw)
+        self._switches += 1
+        return config

@@ -1,0 +1,33 @@
+"""Mini ISA: micro-ops, opcodes, registers and functional semantics."""
+
+from repro.isa.instructions import MicroOp, nop
+from repro.isa.opcodes import (
+    CONTROL_CLASSES,
+    DEFAULT_LATENCY,
+    LONG_LATENCY_CLASSES,
+    OPCODE_CLASS,
+    UNPIPELINED_CLASSES,
+    OpClass,
+    Opcode,
+)
+from repro.isa.registers import NUM_REGISTERS, parse_register, register_name
+from repro.isa.semantics import alu_result, branch_taken, to_signed64, wrap64
+
+__all__ = [
+    "CONTROL_CLASSES",
+    "DEFAULT_LATENCY",
+    "LONG_LATENCY_CLASSES",
+    "MicroOp",
+    "NUM_REGISTERS",
+    "OPCODE_CLASS",
+    "OpClass",
+    "Opcode",
+    "UNPIPELINED_CLASSES",
+    "alu_result",
+    "branch_taken",
+    "nop",
+    "parse_register",
+    "register_name",
+    "to_signed64",
+    "wrap64",
+]

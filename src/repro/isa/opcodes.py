@@ -1,0 +1,121 @@
+"""Opcode and operation-class definitions for the mini ISA.
+
+The pipeline model cares about *operation classes* (latency, which port,
+whether memory is touched); the functional interpreter and the golden-model
+checks care about *opcodes* (what the instruction computes).  Values are
+Python integers throughout — the FP classes exist to model Silverthorne's
+longer FP latencies, not IEEE arithmetic, and this is documented behaviour.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class OpClass(str, Enum):
+    """Execution resource class of a micro-op."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    FP_ADD = "fp_add"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    CALL = "call"
+    RET = "ret"
+    NOP = "nop"
+
+
+class Opcode(str, Enum):
+    """Concrete operations understood by the assembler and interpreter."""
+
+    LI = "li"
+    MOV = "mov"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    CMPLT = "cmplt"
+    CMPEQ = "cmpeq"
+    FADD = "fadd"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    LD = "ld"
+    ST = "st"
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    JMP = "jmp"
+    CALL = "call"
+    RET = "ret"
+    HALT = "halt"
+    NOP = "nop"
+
+
+#: Map each opcode to its execution class.
+OPCODE_CLASS: dict[Opcode, OpClass] = {
+    Opcode.LI: OpClass.INT_ALU,
+    Opcode.MOV: OpClass.INT_ALU,
+    Opcode.ADD: OpClass.INT_ALU,
+    Opcode.SUB: OpClass.INT_ALU,
+    Opcode.MUL: OpClass.INT_MUL,
+    Opcode.DIV: OpClass.INT_DIV,
+    Opcode.AND: OpClass.INT_ALU,
+    Opcode.OR: OpClass.INT_ALU,
+    Opcode.XOR: OpClass.INT_ALU,
+    Opcode.SHL: OpClass.INT_ALU,
+    Opcode.SHR: OpClass.INT_ALU,
+    Opcode.CMPLT: OpClass.INT_ALU,
+    Opcode.CMPEQ: OpClass.INT_ALU,
+    Opcode.FADD: OpClass.FP_ADD,
+    Opcode.FMUL: OpClass.FP_MUL,
+    Opcode.FDIV: OpClass.FP_DIV,
+    Opcode.LD: OpClass.LOAD,
+    Opcode.ST: OpClass.STORE,
+    Opcode.BEQ: OpClass.BRANCH,
+    Opcode.BNE: OpClass.BRANCH,
+    Opcode.BLT: OpClass.BRANCH,
+    Opcode.BGE: OpClass.BRANCH,
+    Opcode.JMP: OpClass.BRANCH,
+    Opcode.CALL: OpClass.CALL,
+    Opcode.RET: OpClass.RET,
+    Opcode.HALT: OpClass.NOP,
+    Opcode.NOP: OpClass.NOP,
+}
+
+#: Default execution latency (cycles) per class — Silverthorne-like.
+#: Divides are unpipelined (see ``UNPIPELINED_CLASSES``); loads take
+#: ``LOAD`` cycles on a DL0 hit, with misses handled by the memory model.
+DEFAULT_LATENCY: dict[OpClass, int] = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 4,
+    OpClass.INT_DIV: 20,
+    OpClass.FP_ADD: 5,
+    OpClass.FP_MUL: 5,
+    OpClass.FP_DIV: 30,
+    OpClass.LOAD: 3,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.CALL: 1,
+    OpClass.RET: 1,
+    OpClass.NOP: 1,
+}
+
+#: Classes whose functional unit blocks until the operation retires.
+UNPIPELINED_CLASSES = frozenset({OpClass.INT_DIV, OpClass.FP_DIV})
+
+#: Classes handled by the long-latency scoreboard path (latency cannot be
+#: encoded in the shift register at issue time — paper Section 4.1.1).
+LONG_LATENCY_CLASSES = frozenset({OpClass.INT_DIV, OpClass.FP_DIV})
+
+#: Classes that redirect control flow.
+CONTROL_CLASSES = frozenset({OpClass.BRANCH, OpClass.CALL, OpClass.RET})

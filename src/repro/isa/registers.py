@@ -1,0 +1,50 @@
+"""Register-file naming for the mini ISA.
+
+The in-order core has no renaming, so logical registers map one-to-one to
+physical entries.  We model 32 general registers ``r0``-``r31``; ``r0`` is
+an ordinary register (not hardwired to zero).  By convention the assembler
+kernels use ``r29`` as stack pointer, ``r30`` as link register and ``r31``
+as scratch, but nothing in the pipeline enforces this.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceError
+
+#: Number of logical registers tracked by the scoreboard.
+NUM_REGISTERS = 32
+
+#: Conventional aliases accepted by the assembler.
+REGISTER_ALIASES = {
+    "sp": 29,
+    "lr": 30,
+    "tmp": 31,
+}
+
+
+def parse_register(token: str) -> int:
+    """Parse ``"r7"`` / ``"sp"`` style register tokens to indices.
+
+    Raises
+    ------
+    TraceError
+        If the token is not a valid register name.
+    """
+    name = token.strip().lower()
+    if name in REGISTER_ALIASES:
+        return REGISTER_ALIASES[name]
+    if name.startswith("r"):
+        try:
+            index = int(name[1:])
+        except ValueError as exc:
+            raise TraceError(f"bad register token {token!r}") from exc
+        if 0 <= index < NUM_REGISTERS:
+            return index
+    raise TraceError(f"bad register token {token!r}")
+
+
+def register_name(index: int) -> str:
+    """Canonical name for a register index."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise TraceError(f"register index {index} out of range")
+    return f"r{index}"

@@ -1,0 +1,78 @@
+"""Functional semantics of the mini ISA.
+
+Shared by the interpreter (golden model) and the pipeline's datapath check.
+All arithmetic is on Python integers, truncated to 64-bit two's complement,
+so results are deterministic and platform-independent.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceError
+from repro.isa.opcodes import Opcode
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+
+
+def to_signed64(value: int) -> int:
+    """Interpret an integer as a 64-bit two's-complement value."""
+    value &= _MASK64
+    return value - (1 << 64) if value & _SIGN64 else value
+
+
+def wrap64(value: int) -> int:
+    """Truncate to unsigned 64-bit."""
+    return value & _MASK64
+
+
+def alu_result(opcode: Opcode, a: int, b: int, imm: int) -> int:
+    """Compute the destination value of a non-memory, non-control op.
+
+    ``a`` and ``b`` are the source register values (``b`` is 0 when the
+    opcode takes a single source); ``imm`` is the immediate operand.
+    """
+    if opcode is Opcode.LI:
+        return wrap64(imm)
+    if opcode is Opcode.MOV:
+        return wrap64(a)
+    if opcode in (Opcode.ADD, Opcode.FADD):
+        return wrap64(a + b)
+    if opcode is Opcode.SUB:
+        return wrap64(a - b)
+    if opcode in (Opcode.MUL, Opcode.FMUL):
+        return wrap64(a * b)
+    if opcode in (Opcode.DIV, Opcode.FDIV):
+        divisor = to_signed64(b)
+        if divisor == 0:
+            return _MASK64  # divide-by-zero convention: all ones
+        return wrap64(to_signed64(a) // divisor)
+    if opcode is Opcode.AND:
+        return a & b
+    if opcode is Opcode.OR:
+        return a | b
+    if opcode is Opcode.XOR:
+        return a ^ b
+    if opcode is Opcode.SHL:
+        return wrap64(a << (imm & 63))
+    if opcode is Opcode.SHR:
+        return (a & _MASK64) >> (imm & 63)
+    if opcode is Opcode.CMPLT:
+        return 1 if to_signed64(a) < to_signed64(b) else 0
+    if opcode is Opcode.CMPEQ:
+        return 1 if wrap64(a) == wrap64(b) else 0
+    raise TraceError(f"{opcode} has no ALU semantics")
+
+
+def branch_taken(opcode: Opcode, a: int, b: int) -> bool:
+    """Resolve the direction of a conditional or unconditional branch."""
+    if opcode is Opcode.BEQ:
+        return wrap64(a) == wrap64(b)
+    if opcode is Opcode.BNE:
+        return wrap64(a) != wrap64(b)
+    if opcode is Opcode.BLT:
+        return to_signed64(a) < to_signed64(b)
+    if opcode is Opcode.BGE:
+        return to_signed64(a) >= to_signed64(b)
+    if opcode in (Opcode.JMP, Opcode.CALL, Opcode.RET):
+        return True
+    raise TraceError(f"{opcode} is not a control opcode")

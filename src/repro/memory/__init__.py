@@ -1,0 +1,23 @@
+"""Memory-hierarchy substrate: caches, TLBs, buffers, DRAM."""
+
+from repro.memory.buffers import FillBufferFile, WriteCombiningBuffer
+from repro.memory.cache import AccessResult, Cache, CacheLine
+from repro.memory.dram import Dram
+from repro.memory.hierarchy import MemoryConfig, MemoryResponse, MemorySystem
+from repro.memory.replacement import LruPolicy, RandomPolicy
+from repro.memory.tlb import Tlb
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheLine",
+    "Dram",
+    "FillBufferFile",
+    "LruPolicy",
+    "MemoryConfig",
+    "MemoryResponse",
+    "MemorySystem",
+    "RandomPolicy",
+    "Tlb",
+    "WriteCombiningBuffer",
+]

@@ -1,0 +1,37 @@
+"""Off-chip memory model: constant latency in *nanoseconds*.
+
+The paper's Section 5.2 notes that performance gains trail frequency gains
+partly because "off-chip memory latency remains constant" — in wall-clock
+time.  When the core clocks higher (IRAW) the same nanoseconds cost more
+cycles.  :class:`Dram` captures exactly that: it is configured once per
+operating point with the cycle-equivalent of the fixed latency.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import MemoryModelError
+
+
+class Dram:
+    """Fixed-latency backing store."""
+
+    def __init__(self, latency_cycles: int):
+        if latency_cycles <= 0:
+            raise MemoryModelError("DRAM latency must be positive")
+        self.latency_cycles = latency_cycles
+        self.requests = 0
+
+    @classmethod
+    def from_frequency(cls, latency_ns: float, frequency_mhz: float) -> "Dram":
+        """Build from a wall-clock latency and an operating frequency."""
+        if latency_ns <= 0 or frequency_mhz <= 0:
+            raise MemoryModelError("latency and frequency must be positive")
+        cycles = max(1, math.ceil(latency_ns * frequency_mhz / 1e3))
+        return cls(cycles)
+
+    def access(self) -> int:
+        """Latency of one request, in cycles."""
+        self.requests += 1
+        return self.latency_cycles

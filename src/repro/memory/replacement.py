@@ -1,0 +1,41 @@
+"""Replacement policies for the set-associative cache model.
+
+LRU is the default everywhere (Silverthorne's caches are pseudo-LRU; true
+LRU is the standard simulator simplification).  A random policy is provided
+for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+
+class ReplacementPolicy(Protocol):
+    """Chooses a victim way among the lines of a full set."""
+
+    def victim(self, stamps: list[int]) -> int:
+        """Return the index of the way to evict given per-way use stamps."""
+
+
+class LruPolicy:
+    """Evict the least-recently-used way (smallest stamp)."""
+
+    def victim(self, stamps: list[int]) -> int:
+        best_way = 0
+        best_stamp = stamps[0]
+        for way, stamp in enumerate(stamps):
+            if stamp < best_stamp:
+                best_stamp = stamp
+                best_way = way
+        return best_way
+
+
+class RandomPolicy:
+    """Evict a uniformly random way (for sensitivity studies)."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def victim(self, stamps: list[int]) -> int:
+        return self._rng.randrange(len(stamps))

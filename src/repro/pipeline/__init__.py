@@ -1,0 +1,29 @@
+"""Cycle-level in-order pipeline model (Silverthorne-class)."""
+
+from repro.pipeline.core import CoreSetup, InOrderCore, simulate
+from repro.pipeline.frontend import FrontEnd
+from repro.pipeline.lsu import LoadStoreUnit
+from repro.pipeline.regfile import BypassNetwork, RegisterFileModel
+from repro.pipeline.resources import FunctionalUnits, PipelineParams
+from repro.pipeline.stats import (
+    IRAW_STALL_REASONS,
+    SimulationResult,
+    StallReason,
+    StallStats,
+)
+
+__all__ = [
+    "BypassNetwork",
+    "CoreSetup",
+    "FrontEnd",
+    "FunctionalUnits",
+    "IRAW_STALL_REASONS",
+    "InOrderCore",
+    "LoadStoreUnit",
+    "PipelineParams",
+    "RegisterFileModel",
+    "SimulationResult",
+    "StallReason",
+    "StallStats",
+    "simulate",
+]

@@ -1,0 +1,199 @@
+"""A small two-pass assembler for the mini ISA.
+
+Syntax (one instruction per line, ``;`` starts a comment)::
+
+    start:
+        li    r1, 100          ; r1 = 100
+        add   r2, r1, r3       ; r2 = r1 + r3
+        add   r2, r1, 5        ; immediate second operand
+        ld    r4, r1, 8        ; r4 = mem64[r1 + 8]
+        st    r4, r1, 16       ; mem64[r1 + 16] = r4
+        beq   r1, r2, start
+        call  helper
+        halt
+
+Labels resolve to instruction addresses (4 bytes apart, base 0x1000).
+The output is a :class:`Program` consumed by the interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblyError
+from repro.isa.opcodes import OPCODE_CLASS, Opcode
+from repro.isa.registers import parse_register
+
+#: Address of the first instruction.
+CODE_BASE = 0x1000
+
+
+@dataclass(frozen=True)
+class StaticInstruction:
+    """One assembled instruction."""
+
+    pc: int
+    opcode: Opcode
+    dest: int | None = None
+    srcs: tuple[int, ...] = ()
+    imm: int = 0
+    target_pc: int | None = None
+
+    @property
+    def opclass(self):
+        return OPCODE_CLASS[self.opcode]
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions indexed by pc."""
+
+    instructions: list[StaticInstruction]
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def at(self, pc: int) -> StaticInstruction:
+        index = (pc - CODE_BASE) // 4
+        if not 0 <= index < len(self.instructions):
+            raise AssemblyError(f"pc {pc:#x} outside program")
+        return self.instructions[index]
+
+    @property
+    def entry_pc(self) -> int:
+        return CODE_BASE
+
+
+def _split_operands(rest: str) -> list[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [token.strip() for token in rest.split(",")]
+
+
+def _parse_value(token: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblyError(f"bad immediate {token!r}") from exc
+
+
+def _is_register(token: str) -> bool:
+    try:
+        parse_register(token)
+        return True
+    except Exception:
+        return False
+
+
+def assemble(source: str) -> Program:
+    """Assemble ``source`` text into a :class:`Program`.
+
+    Raises
+    ------
+    AssemblyError
+        On unknown mnemonics, malformed operands or undefined labels.
+    """
+    # Pass 1: collect labels and raw instruction lines.
+    lines: list[tuple[int, str]] = []
+    labels: dict[str, int] = {}
+    for raw_number, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split(";", 1)[0].strip()
+        if not text:
+            continue
+        while ":" in text:
+            label, _, text = text.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblyError(f"line {raw_number}: bad label {label!r}")
+            if label in labels:
+                raise AssemblyError(f"line {raw_number}: duplicate label {label!r}")
+            labels[label] = CODE_BASE + len(lines) * 4
+            text = text.strip()
+        if text:
+            lines.append((raw_number, text))
+
+    # Pass 2: encode instructions.
+    instructions: list[StaticInstruction] = []
+    for position, (line_number, text) in enumerate(lines):
+        pc = CODE_BASE + position * 4
+        mnemonic, _, rest = text.partition(" ")
+        try:
+            opcode = Opcode(mnemonic.lower())
+        except ValueError as exc:
+            raise AssemblyError(
+                f"line {line_number}: unknown mnemonic {mnemonic!r}"
+            ) from exc
+        operands = _split_operands(rest)
+        try:
+            instructions.append(_encode(pc, opcode, operands, labels))
+        except AssemblyError as exc:
+            raise AssemblyError(f"line {line_number}: {exc}") from exc
+    return Program(instructions=instructions, labels=labels)
+
+
+def _encode(pc: int, opcode: Opcode, operands: list[str],
+            labels: dict[str, int]) -> StaticInstruction:
+    def label_pc(token: str) -> int:
+        if token not in labels:
+            raise AssemblyError(f"undefined label {token!r}")
+        return labels[token]
+
+    def expect(count: int) -> None:
+        if len(operands) != count:
+            raise AssemblyError(
+                f"{opcode.value} expects {count} operands, got {len(operands)}"
+            )
+
+    if opcode in (Opcode.NOP, Opcode.HALT, Opcode.RET):
+        expect(0)
+        return StaticInstruction(pc, opcode)
+    if opcode is Opcode.LI:
+        expect(2)
+        return StaticInstruction(pc, opcode, dest=parse_register(operands[0]),
+                                 imm=_parse_value(operands[1]))
+    if opcode is Opcode.MOV:
+        expect(2)
+        return StaticInstruction(pc, opcode, dest=parse_register(operands[0]),
+                                 srcs=(parse_register(operands[1]),))
+    if opcode in (Opcode.SHL, Opcode.SHR):
+        expect(3)
+        return StaticInstruction(pc, opcode, dest=parse_register(operands[0]),
+                                 srcs=(parse_register(operands[1]),),
+                                 imm=_parse_value(operands[2]))
+    if opcode in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV,
+                  Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.CMPLT,
+                  Opcode.CMPEQ, Opcode.FADD, Opcode.FMUL, Opcode.FDIV):
+        expect(3)
+        dest = parse_register(operands[0])
+        src1 = parse_register(operands[1])
+        if _is_register(operands[2]):
+            return StaticInstruction(pc, opcode, dest=dest,
+                                     srcs=(src1, parse_register(operands[2])))
+        return StaticInstruction(pc, opcode, dest=dest, srcs=(src1,),
+                                 imm=_parse_value(operands[2]))
+    if opcode is Opcode.LD:
+        expect(3)
+        return StaticInstruction(pc, opcode, dest=parse_register(operands[0]),
+                                 srcs=(parse_register(operands[1]),),
+                                 imm=_parse_value(operands[2]))
+    if opcode is Opcode.ST:
+        expect(3)
+        return StaticInstruction(pc, opcode,
+                                 srcs=(parse_register(operands[0]),
+                                       parse_register(operands[1])),
+                                 imm=_parse_value(operands[2]))
+    if opcode in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+        expect(3)
+        return StaticInstruction(pc, opcode,
+                                 srcs=(parse_register(operands[0]),
+                                       parse_register(operands[1])),
+                                 target_pc=label_pc(operands[2]))
+    if opcode is Opcode.JMP:
+        expect(1)
+        return StaticInstruction(pc, opcode, target_pc=label_pc(operands[0]))
+    if opcode is Opcode.CALL:
+        expect(1)
+        return StaticInstruction(pc, opcode, target_pc=label_pc(operands[0]))
+    raise AssemblyError(f"unhandled opcode {opcode}")

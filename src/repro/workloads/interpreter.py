@@ -1,0 +1,150 @@
+"""Functional interpreter: the golden model for assembled kernels.
+
+Executes a :class:`~repro.workloads.assembler.Program` architecturally and
+emits a dynamic :class:`~repro.workloads.trace.Trace` whose micro-ops carry
+the functionally correct result of every instruction (``golden_result`` /
+``store_value``).  The pipeline model re-computes the same values through
+its modeled register file, bypass network, STable and cache datapath; any
+divergence means a correctness bug — in particular, a read that slipped
+into an IRAW stabilization window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TraceError
+from repro.isa.instructions import MicroOp
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.registers import NUM_REGISTERS
+from repro.isa.semantics import alu_result, branch_taken, wrap64
+from repro.workloads.assembler import Program, StaticInstruction
+from repro.workloads.trace import Trace
+
+#: Safety valve: refuse to run away on a diverging kernel.
+DEFAULT_MAX_INSTRUCTIONS = 2_000_000
+
+
+@dataclass
+class ArchState:
+    """Architectural end-state of a kernel execution."""
+
+    registers: list[int] = field(default_factory=lambda: [0] * NUM_REGISTERS)
+    memory: dict[int, int] = field(default_factory=dict)
+
+    def read_mem(self, address: int) -> int:
+        return self.memory.get(address & ~7, 0)
+
+    def write_mem(self, address: int, value: int) -> None:
+        self.memory[address & ~7] = wrap64(value)
+
+
+def run_program(program: Program, initial_memory: dict[int, int] | None = None,
+                initial_registers: dict[int, int] | None = None,
+                max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                trace_name: str = "kernel") -> tuple[Trace, ArchState]:
+    """Execute ``program`` and return (dynamic trace, final state).
+
+    Raises
+    ------
+    TraceError
+        If the program exceeds ``max_instructions`` (diverging kernel) or
+        underflows its call stack.
+    """
+    state = ArchState()
+    if initial_memory:
+        for address, value in initial_memory.items():
+            state.write_mem(address, value)
+    if initial_registers:
+        for reg, value in initial_registers.items():
+            state.registers[reg] = wrap64(value)
+
+    ops: list[MicroOp] = []
+    call_stack: list[int] = []
+    pc = program.entry_pc
+
+    while True:
+        if len(ops) >= max_instructions:
+            raise TraceError(
+                f"{trace_name}: exceeded {max_instructions} instructions"
+            )
+        inst = program.at(pc)
+        op, next_pc = _step(state, inst, call_stack, len(ops))
+        if op is not None:
+            ops.append(op)
+        if next_pc is None:  # HALT
+            break
+        pc = next_pc
+
+    trace = Trace(name=trace_name, ops=ops, source="interpreter",
+                  metadata={"program_length": len(program)})
+    return trace, state
+
+
+def _step(state: ArchState, inst: StaticInstruction, call_stack: list[int],
+          index: int) -> tuple[MicroOp | None, int | None]:
+    """Execute one instruction; return (micro-op, next pc or None on halt)."""
+    regs = state.registers
+    opcode = inst.opcode
+    fallthrough = inst.pc + 4
+
+    if opcode is Opcode.HALT:
+        return None, None
+    if opcode is Opcode.NOP:
+        return MicroOp(index, opcode, pc=inst.pc), fallthrough
+
+    if inst.opclass is OpClass.LOAD:
+        base = regs[inst.srcs[0]]
+        address = wrap64(base + inst.imm) & ~7
+        value = state.read_mem(address)
+        regs[inst.dest] = value
+        op = MicroOp(index, opcode, dest=inst.dest, srcs=inst.srcs,
+                     imm=inst.imm, pc=inst.pc, mem_addr=address,
+                     golden_result=value)
+        return op, fallthrough
+
+    if inst.opclass is OpClass.STORE:
+        value = regs[inst.srcs[0]]
+        base = regs[inst.srcs[1]]
+        address = wrap64(base + inst.imm) & ~7
+        state.write_mem(address, value)
+        op = MicroOp(index, opcode, srcs=inst.srcs, imm=inst.imm,
+                     pc=inst.pc, mem_addr=address, store_value=wrap64(value))
+        return op, fallthrough
+
+    if opcode in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+        a = regs[inst.srcs[0]]
+        b = regs[inst.srcs[1]]
+        taken = branch_taken(opcode, a, b)
+        op = MicroOp(index, opcode, srcs=inst.srcs, pc=inst.pc,
+                     taken=taken, target=inst.target_pc)
+        return op, inst.target_pc if taken else fallthrough
+
+    if opcode is Opcode.JMP:
+        op = MicroOp(index, opcode, pc=inst.pc, taken=True,
+                     target=inst.target_pc)
+        return op, inst.target_pc
+
+    if opcode is Opcode.CALL:
+        call_stack.append(fallthrough)
+        op = MicroOp(index, opcode, pc=inst.pc, taken=True,
+                     target=inst.target_pc)
+        return op, inst.target_pc
+
+    if opcode is Opcode.RET:
+        if not call_stack:
+            raise TraceError(f"pc {inst.pc:#x}: RET with empty call stack")
+        return_pc = call_stack.pop()
+        op = MicroOp(index, opcode, pc=inst.pc, taken=True, target=return_pc)
+        return op, return_pc
+
+    # Plain ALU / FP instruction.
+    a = regs[inst.srcs[0]] if inst.srcs else 0
+    b = regs[inst.srcs[1]] if len(inst.srcs) > 1 else inst.imm
+    if opcode in (Opcode.LI, Opcode.SHL, Opcode.SHR):
+        b = 0  # these consume the immediate via alu_result's imm argument
+    result = alu_result(opcode, a, b, inst.imm)
+    regs[inst.dest] = result
+    op = MicroOp(index, opcode, dest=inst.dest, srcs=inst.srcs,
+                 imm=inst.imm, pc=inst.pc, golden_result=result)
+    return op, fallthrough

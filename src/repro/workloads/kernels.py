@@ -1,0 +1,472 @@
+"""Real mini-kernels for golden-model correctness and focused stress tests.
+
+Each kernel is a small assembly program with a builder that sets up its
+input memory/registers.  :func:`kernel_trace` assembles, interprets and
+returns a dynamic trace carrying golden values, ready for the pipeline.
+
+The kernels map to the paper's workload motivations:
+
+* ``fib`` — serial dependency chain (register-file IRAW stress);
+* ``memcpy`` — store-heavy streaming (kernel-class traces);
+* ``dot`` / ``matmul`` — multiply/accumulate loops (multimedia/FP-class);
+* ``pointer_chase`` — load-latency bound (server-class);
+* ``strfind`` / ``sort`` — data-dependent branches (office-class);
+* ``store_forward`` — immediate load-after-store (STable full-match path);
+* ``calls`` — dense call/return pairs (RSB stress, paper Section 4.5).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import TraceError
+from repro.workloads.assembler import Program, assemble
+from repro.workloads.interpreter import ArchState, run_program
+from repro.workloads.trace import Trace
+
+#: Where kernels store their scalar result (r28 by convention).
+RESULT_ADDRESS = 0x8000_0000
+
+
+@dataclass
+class KernelSpec:
+    """A ready-to-run kernel: program plus initial machine state."""
+
+    name: str
+    program: Program
+    description: str
+    initial_memory: dict[int, int] = field(default_factory=dict)
+    initial_registers: dict[int, int] = field(default_factory=dict)
+
+    def run(self) -> tuple[Trace, ArchState]:
+        """Interpret the kernel; trace metadata carries the initial state."""
+        trace, state = run_program(
+            self.program,
+            initial_memory=self.initial_memory,
+            initial_registers=self.initial_registers,
+            trace_name=self.name,
+        )
+        trace.metadata["initial_registers"] = dict(self.initial_registers)
+        trace.metadata["initial_memory"] = dict(self.initial_memory)
+        return trace, state
+
+
+def _fib(size: int) -> KernelSpec:
+    source = """
+        li r1, {n}
+        li r2, 0
+        li r3, 1
+    loop:
+        add r4, r2, r3
+        mov r2, r3
+        mov r3, r4
+        sub r1, r1, 1
+        bne r1, r0, loop
+        st r3, r28, 0
+        halt
+    """.format(n=max(1, size))
+    return KernelSpec("fib", assemble(source),
+                      "iterative Fibonacci (serial dependency chain)",
+                      initial_registers={28: RESULT_ADDRESS})
+
+
+def _memcpy(size: int) -> KernelSpec:
+    src_base, dst_base = 0x10000, 0x40000
+    words = max(1, size)
+    memory = {src_base + 8 * i: (i * 2654435761) & 0xFFFFFFFF
+              for i in range(words)}
+    source = """
+        li r1, {n}
+        li r2, {src}
+        li r3, {dst}
+    loop:
+        ld r4, r2, 0
+        st r4, r3, 0
+        add r2, r2, 8
+        add r3, r3, 8
+        sub r1, r1, 1
+        bne r1, r0, loop
+        halt
+    """.format(n=words, src=src_base, dst=dst_base)
+    return KernelSpec("memcpy", assemble(source),
+                      "word-by-word copy (store-heavy streaming)",
+                      initial_memory=memory)
+
+
+def _dot(size: int) -> KernelSpec:
+    a_base, b_base = 0x10000, 0x80000
+    words = max(1, size)
+    memory = {}
+    for i in range(words):
+        memory[a_base + 8 * i] = (i + 1) & 0xFFFF
+        memory[b_base + 8 * i] = (2 * i + 3) & 0xFFFF
+    source = """
+        li r1, {n}
+        li r2, {a}
+        li r3, {b}
+        li r5, 0
+    loop:
+        ld r6, r2, 0
+        ld r7, r3, 0
+        mul r8, r6, r7
+        add r5, r5, r8
+        add r2, r2, 8
+        add r3, r3, 8
+        sub r1, r1, 1
+        bne r1, r0, loop
+        st r5, r28, 0
+        halt
+    """.format(n=words, a=a_base, b=b_base)
+    return KernelSpec("dot", assemble(source),
+                      "dot product (load + multiply-accumulate loop)",
+                      initial_memory=memory,
+                      initial_registers={28: RESULT_ADDRESS})
+
+
+def _matmul(size: int) -> KernelSpec:
+    n = max(2, min(size, 16))
+    a_base, b_base, c_base = 0x10000, 0x20000, 0x30000
+    memory = {}
+    for i in range(n * n):
+        memory[a_base + 8 * i] = (i % 7) + 1
+        memory[b_base + 8 * i] = (i % 5) + 1
+    source = """
+        li r1, 0
+    iloop:
+        li r2, 0
+    jloop:
+        li r8, 0
+        li r3, 0
+    kloop:
+        mul r9, r1, r7
+        add r9, r9, r3
+        shl r9, r9, 3
+        add r9, r9, r4
+        ld r10, r9, 0
+        mul r11, r3, r7
+        add r11, r11, r2
+        shl r11, r11, 3
+        add r11, r11, r5
+        ld r12, r11, 0
+        mul r13, r10, r12
+        add r8, r8, r13
+        add r3, r3, 1
+        bne r3, r7, kloop
+        mul r14, r1, r7
+        add r14, r14, r2
+        shl r14, r14, 3
+        add r14, r14, r6
+        st r8, r14, 0
+        add r2, r2, 1
+        bne r2, r7, jloop
+        add r1, r1, 1
+        bne r1, r7, iloop
+        halt
+    """
+    return KernelSpec("matmul", assemble(source),
+                      f"dense {n}x{n} matrix multiply (nested loops)",
+                      initial_memory=memory,
+                      initial_registers={4: a_base, 5: b_base,
+                                         6: c_base, 7: n})
+
+
+def _pointer_chase(size: int) -> KernelSpec:
+    nodes = max(2, size)
+    base = 0x100000
+    # Build a single Hamiltonian cycle so an N-hop walk visits every node
+    # exactly once (a plain shuffled successor array would decompose into
+    # smaller cycles and revisit nodes).
+    rng = random.Random(42)
+    order = list(range(nodes))
+    rng.shuffle(order)
+    memory = {}
+    addr_of = [base + 16 * i for i in range(nodes)]
+    for position, node in enumerate(order):
+        successor = order[(position + 1) % nodes]
+        memory[addr_of[node]] = addr_of[successor]
+        memory[addr_of[node] + 8] = (node * 31 + 7) & 0xFFFF
+    source = """
+        li r1, {head}
+        li r5, 0
+        li r2, {n}
+    loop:
+        ld r3, r1, 8
+        add r5, r5, r3
+        ld r1, r1, 0
+        sub r2, r2, 1
+        bne r2, r0, loop
+        st r5, r28, 0
+        halt
+    """.format(head=addr_of[order[0]], n=nodes)
+    return KernelSpec("pointer_chase", assemble(source),
+                      "linked-list walk (serial load dependence)",
+                      initial_memory=memory,
+                      initial_registers={28: RESULT_ADDRESS})
+
+
+def _strfind(size: int) -> KernelSpec:
+    base = 0x10000
+    words = max(4, size)
+    key_position = words * 3 // 4
+    memory = {base + 8 * i: (i * 13 + 1) & 0xFFFF for i in range(words)}
+    key = memory[base + 8 * key_position]
+    source = """
+        li r1, {arr}
+        li r2, {n}
+        li r3, {key}
+        li r6, -1
+        li r5, 0
+    loop:
+        ld r4, r1, 0
+        beq r4, r3, found
+        add r1, r1, 8
+        add r5, r5, 1
+        bne r5, r2, loop
+        jmp done
+    found:
+        mov r6, r5
+    done:
+        st r6, r28, 0
+        halt
+    """.format(arr=base, n=words, key=key)
+    return KernelSpec("strfind", assemble(source),
+                      "linear search with early exit (branchy)",
+                      initial_memory=memory,
+                      initial_registers={28: RESULT_ADDRESS})
+
+
+def _store_forward(size: int) -> KernelSpec:
+    buf = 0x10000
+    iterations = max(1, size)
+    source = """
+        li r1, {n}
+        li r2, {buf}
+        li r5, 1
+    loop:
+        st r5, r2, 0
+        ld r6, r2, 0
+        add r5, r6, 1
+        add r2, r2, 8
+        sub r1, r1, 1
+        bne r1, r0, loop
+        st r5, r28, 0
+        halt
+    """.format(n=iterations, buf=buf)
+    return KernelSpec("store_forward", assemble(source),
+                      "immediate load-after-store (STable forwarding path)",
+                      initial_registers={28: RESULT_ADDRESS})
+
+
+def _sort(size: int) -> KernelSpec:
+    base = 0x10000
+    words = max(2, min(size, 256))
+    rng = random.Random(7)
+    memory = {base + 8 * i: rng.randrange(1 << 16) for i in range(words)}
+    source = """
+        li r1, 1
+    outer:
+        mul r2, r1, 8
+        add r2, r2, r10
+        ld r3, r2, 0
+        mov r4, r1
+    inner:
+        beq r4, r0, insert
+        mul r5, r4, 8
+        add r5, r5, r10
+        ld r6, r5, -8
+        blt r6, r3, insert
+        st r6, r5, 0
+        sub r4, r4, 1
+        jmp inner
+    insert:
+        mul r7, r4, 8
+        add r7, r7, r10
+        st r3, r7, 0
+        add r1, r1, 1
+        bne r1, r11, outer
+        halt
+    """
+    return KernelSpec("sort", assemble(source),
+                      "insertion sort (data-dependent branches and swaps)",
+                      initial_memory=memory,
+                      initial_registers={10: base, 11: words})
+
+
+def _calls(size: int) -> KernelSpec:
+    source = """
+        li r1, {n}
+    loop:
+        call f1
+        sub r1, r1, 1
+        bne r1, r0, loop
+        st r20, r28, 0
+        halt
+    f1:
+        add r20, r20, 1
+        call f2
+        ret
+    f2:
+        add r21, r21, 2
+        ret
+    """.format(n=max(1, size))
+    return KernelSpec("calls", assemble(source),
+                      "nested call/return pairs (RSB stress)",
+                      initial_registers={28: RESULT_ADDRESS})
+
+
+def _crc(size: int) -> KernelSpec:
+    """Shift/xor mixing loop: serial single-register dependency chain."""
+    words = max(1, size)
+    base = 0x10000
+    memory = {base + 8 * i: (i * 0x9E37 + 0x79B9) & 0xFFFF
+              for i in range(words)}
+    source = """
+        li r1, {arr}
+        li r2, {n}
+        li r5, 0xFFFF
+    loop:
+        ld r3, r1, 0
+        xor r5, r5, r3
+        shl r6, r5, 3
+        shr r7, r5, 5
+        xor r5, r6, r7
+        add r1, r1, 8
+        sub r2, r2, 1
+        bne r2, r0, loop
+        st r5, r28, 0
+        halt
+    """.format(arr=base, n=words)
+    return KernelSpec("crc", assemble(source),
+                      "shift/xor mixing loop (serial ALU chain)",
+                      initial_memory=memory,
+                      initial_registers={28: RESULT_ADDRESS})
+
+
+def _histogram(size: int) -> KernelSpec:
+    """Data-dependent scattered stores: bin[x & 15] += 1."""
+    words = max(1, size)
+    data_base, bins_base = 0x10000, 0x20000
+    memory = {data_base + 8 * i: (i * 7 + 3) & 0xFFFF for i in range(words)}
+    source = """
+        li r1, {data}
+        li r2, {n}
+        li r4, {bins}
+    loop:
+        ld r3, r1, 0
+        and r5, r3, 15
+        shl r5, r5, 3
+        add r6, r5, r4
+        ld r7, r6, 0
+        add r7, r7, 1
+        st r7, r6, 0
+        add r1, r1, 8
+        sub r2, r2, 1
+        bne r2, r0, loop
+        halt
+    """.format(data=data_base, n=words, bins=bins_base)
+    return KernelSpec("histogram", assemble(source),
+                      "16-bin histogram (read-modify-write stores)",
+                      initial_memory=memory)
+
+
+def _stack(size: int) -> KernelSpec:
+    """Push N values then pop them back: store->load stack discipline."""
+    depth = max(1, size)
+    source = """
+        li sp, 0x70000
+        li r1, {n}
+        li r5, 0
+    push:
+        add r5, r5, 3
+        st r5, sp, 0
+        add sp, sp, 8
+        sub r1, r1, 1
+        bne r1, r0, push
+        li r1, {n}
+        li r6, 0
+    pop:
+        sub sp, sp, 8
+        ld r7, sp, 0
+        add r6, r6, r7
+        sub r1, r1, 1
+        bne r1, r0, pop
+        st r6, r28, 0
+        halt
+    """.format(n=depth)
+    return KernelSpec("stack", assemble(source),
+                      "push/pop stack walk (LIFO store->load reuse)",
+                      initial_registers={28: RESULT_ADDRESS})
+
+
+def _binsearch(size: int) -> KernelSpec:
+    """Repeated binary searches: data-dependent branches and loads."""
+    words = max(4, size)
+    base = 0x10000
+    memory = {base + 8 * i: 3 * i for i in range(words)}  # sorted keys
+    searches = min(16, words)
+    source = """
+        li r20, 0
+        li r21, {searches}
+    outer:
+        mul r3, r20, 5
+        li r1, 0
+        li r2, {n}
+    search:
+        add r4, r1, r2
+        shr r4, r4, 1
+        shl r5, r4, 3
+        add r5, r5, r22
+        ld r6, r5, 0
+        beq r6, r3, found
+        blt r6, r3, go_right
+        mov r2, r4
+        jmp check
+    go_right:
+        add r1, r4, 1
+    check:
+        blt r1, r2, search
+        jmp next
+    found:
+        add r23, r23, 1
+    next:
+        add r20, r20, 1
+        bne r20, r21, outer
+        st r23, r28, 0
+        halt
+    """.format(n=words, searches=searches)
+    return KernelSpec("binsearch", assemble(source),
+                      "repeated binary search (unpredictable branches)",
+                      initial_memory=memory,
+                      initial_registers={22: base, 28: RESULT_ADDRESS})
+
+
+KERNEL_BUILDERS = {
+    "fib": _fib,
+    "memcpy": _memcpy,
+    "dot": _dot,
+    "matmul": _matmul,
+    "pointer_chase": _pointer_chase,
+    "strfind": _strfind,
+    "store_forward": _store_forward,
+    "sort": _sort,
+    "calls": _calls,
+    "crc": _crc,
+    "histogram": _histogram,
+    "stack": _stack,
+    "binsearch": _binsearch,
+}
+
+
+def build_kernel(name: str, size: int = 64) -> KernelSpec:
+    """Instantiate a kernel by name with a problem size."""
+    if name not in KERNEL_BUILDERS:
+        raise TraceError(
+            f"unknown kernel {name!r}; available: {sorted(KERNEL_BUILDERS)}"
+        )
+    return KERNEL_BUILDERS[name](size)
+
+
+def kernel_trace(name: str, size: int = 64) -> tuple[Trace, ArchState]:
+    """Assemble, interpret and return (golden trace, final state)."""
+    return build_kernel(name, size).run()

@@ -1,0 +1,163 @@
+"""Workload profiles emulating the paper's trace mix.
+
+The paper evaluates on 531 traces "obtained from different wide variety of
+programs (Spec2006, Spec2000, kernels, multimedia, office, server,
+workstation, etc.)" — all proprietary.  We substitute six parameterized
+profile families whose first-order characteristics (instruction mix,
+dependency distances, branch behaviour, memory footprint and locality)
+span the same space.  Each profile can be instantiated with any number of
+seeds to build a trace population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Knobs of the synthetic trace generator.
+
+    The defaults are deliberately mid-of-road; the named profiles below
+    override them per workload family.
+    """
+
+    name: str = "default"
+    description: str = ""
+    #: Relative weights of non-control, non-memory operation classes.
+    alu_weight: float = 10.0
+    mul_weight: float = 1.0
+    div_weight: float = 0.1
+    fp_add_weight: float = 0.0
+    fp_mul_weight: float = 0.0
+    fp_div_weight: float = 0.0
+    #: Memory operation weights (relative to the same scale).
+    load_weight: float = 4.0
+    store_weight: float = 1.5
+    #: Average instructions per basic block (sets branch density).
+    mean_block_size: float = 7.0
+    #: Fraction of conditional branches that are data-dependent noise
+    #: (poorly predictable) rather than loop exits (highly predictable).
+    random_branch_fraction: float = 0.10
+    #: Taken bias of the noisy branches.
+    noisy_taken_bias: float = 0.5
+    #: Mean trip count of loops (loop-exit branches mispredict ~1/trips).
+    mean_loop_trips: float = 12.0
+    #: Probability a block ends in a call to a small function.
+    call_fraction: float = 0.03
+    #: Geometric parameter of register dependency distance; the mean
+    #: producer-consumer distance in dynamic instructions is ~1/p.
+    dep_distance_geom_p: float = 0.35
+    #: Fraction of ALU source operands folded into immediates (no register
+    #: dependency).
+    imm_operand_fraction: float = 0.40
+    #: Data working-set size in KiB (drives DL0/UL1 miss rates).
+    working_set_kb: int = 256
+    #: Fraction of memory references that walk sequential streams.
+    spatial_fraction: float = 0.75
+    #: Number of concurrent access streams.
+    stream_count: int = 8
+    #: Fraction of streams that a store stream *aliases* (same DL0 set)
+    #: to exercise the STable set-match path.
+    store_load_alias_fraction: float = 0.25
+    #: Number of distinct static functions in the program skeleton.
+    function_count: int = 4
+    #: Static code footprint scaling (blocks in the main routine).
+    main_segment_count: int = 10
+
+    def __post_init__(self) -> None:
+        weights = (self.alu_weight, self.mul_weight, self.div_weight,
+                   self.fp_add_weight, self.fp_mul_weight,
+                   self.fp_div_weight, self.load_weight, self.store_weight)
+        if all(w <= 0 for w in weights):
+            raise ConfigError(f"profile {self.name!r}: no positive op weights")
+        if any(w < 0 for w in weights):
+            raise ConfigError(f"profile {self.name!r}: negative op weight")
+        if not 0 < self.dep_distance_geom_p <= 1:
+            raise ConfigError(
+                f"profile {self.name!r}: dep_distance_geom_p must be in (0, 1]"
+            )
+        if self.mean_block_size < 2:
+            raise ConfigError(f"profile {self.name!r}: blocks too small")
+        if self.working_set_kb <= 0:
+            raise ConfigError(f"profile {self.name!r}: working set must be positive")
+
+
+SPECINT_LIKE = TraceProfile(
+    name="specint-like",
+    description="Integer-heavy, short dependencies, moderate branchiness",
+    alu_weight=11.0, mul_weight=0.8, div_weight=0.08,
+    load_weight=4.5, store_weight=1.8,
+    mean_block_size=6.0, random_branch_fraction=0.07,
+    dep_distance_geom_p=0.24, mean_loop_trips=16.0, working_set_kb=256,
+    spatial_fraction=0.65, stream_count=10,
+)
+
+SPECFP_LIKE = TraceProfile(
+    name="specfp-like",
+    description="FP loops, long latencies, streaming memory, few branches",
+    alu_weight=5.0, mul_weight=0.5, div_weight=0.02,
+    fp_add_weight=4.0, fp_mul_weight=3.5, fp_div_weight=0.1,
+    load_weight=5.5, store_weight=2.0,
+    mean_block_size=11.0, random_branch_fraction=0.03,
+    mean_loop_trips=40.0, dep_distance_geom_p=0.16,
+    working_set_kb=2048, spatial_fraction=0.9, stream_count=6,
+)
+
+MULTIMEDIA_LIKE = TraceProfile(
+    name="multimedia-like",
+    description="Kernel loops with multiplies and dense streaming",
+    alu_weight=8.0, mul_weight=3.0, div_weight=0.02,
+    load_weight=5.0, store_weight=2.5,
+    mean_block_size=9.0, random_branch_fraction=0.04,
+    mean_loop_trips=32.0, dep_distance_geom_p=0.20,
+    working_set_kb=512, spatial_fraction=0.92, stream_count=4,
+)
+
+OFFICE_LIKE = TraceProfile(
+    name="office-like",
+    description="Branchy control-flow code with mixed locality",
+    alu_weight=10.0, mul_weight=0.5, div_weight=0.05,
+    load_weight=5.0, store_weight=2.2,
+    mean_block_size=4.5, random_branch_fraction=0.12,
+    mean_loop_trips=10.0, call_fraction=0.08,
+    dep_distance_geom_p=0.27, working_set_kb=512,
+    spatial_fraction=0.55, stream_count=12,
+)
+
+SERVER_LIKE = TraceProfile(
+    name="server-like",
+    description="Large footprint, pointer-chasing, cache-hostile",
+    alu_weight=9.0, mul_weight=0.6, div_weight=0.05,
+    load_weight=6.0, store_weight=2.0,
+    mean_block_size=5.5, random_branch_fraction=0.10,
+    mean_loop_trips=12.0, call_fraction=0.06,
+    dep_distance_geom_p=0.26, working_set_kb=4096,
+    spatial_fraction=0.35, stream_count=16,
+)
+
+KERNEL_LIKE = TraceProfile(
+    name="kernel-like",
+    description="Tight copy/fill loops, store-heavy, tiny footprint",
+    alu_weight=6.0, mul_weight=0.3, div_weight=0.01,
+    load_weight=5.0, store_weight=4.0,
+    mean_block_size=8.0, random_branch_fraction=0.02,
+    mean_loop_trips=64.0, dep_distance_geom_p=0.30,
+    working_set_kb=64, spatial_fraction=0.95, stream_count=3,
+    store_load_alias_fraction=0.4,
+)
+
+#: The default evaluation population (one family each, multiple seeds are
+#: applied by the harness).
+STANDARD_PROFILES: tuple[TraceProfile, ...] = (
+    SPECINT_LIKE,
+    SPECFP_LIKE,
+    MULTIMEDIA_LIKE,
+    OFFICE_LIKE,
+    SERVER_LIKE,
+    KERNEL_LIKE,
+)
+
+PROFILES_BY_NAME: dict[str, TraceProfile] = {p.name: p for p in STANDARD_PROFILES}

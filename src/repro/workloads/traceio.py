@@ -1,0 +1,118 @@
+"""Trace serialization: save and reload dynamic traces as JSON lines.
+
+The paper's methodology is trace-driven; being able to persist a trace
+(synthetic or interpreter-generated, including golden values) makes runs
+reproducible across machines and lets users bring their own traces.
+
+Format: one JSON object per line.  The first line is a header with
+``{"trace": name, "source": ..., "metadata": {...}}``; every following
+line is one micro-op with only its non-default fields.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import TraceError
+from repro.isa.instructions import MicroOp
+from repro.isa.opcodes import Opcode
+from repro.workloads.trace import Trace
+
+_FORMAT_VERSION = 1
+
+
+def _op_to_record(op: MicroOp) -> dict:
+    record: dict = {"o": op.opcode.value}
+    if op.dest is not None:
+        record["d"] = op.dest
+    if op.srcs:
+        record["s"] = list(op.srcs)
+    if op.imm:
+        record["i"] = op.imm
+    if op.pc:
+        record["p"] = op.pc
+    if op.mem_addr is not None:
+        record["a"] = op.mem_addr
+    if op.taken:
+        record["t"] = 1
+    if op.target is not None:
+        record["g"] = op.target
+    if op.golden_result is not None:
+        record["r"] = op.golden_result
+    if op.store_value is not None:
+        record["v"] = op.store_value
+    return record
+
+
+def _record_to_op(index: int, record: dict) -> MicroOp:
+    try:
+        opcode = Opcode(record["o"])
+    except (KeyError, ValueError) as exc:
+        raise TraceError(f"line {index + 2}: bad opcode record") from exc
+    return MicroOp(
+        index=index,
+        opcode=opcode,
+        dest=record.get("d"),
+        srcs=tuple(record.get("s", ())),
+        imm=record.get("i", 0),
+        pc=record.get("p", 0),
+        mem_addr=record.get("a"),
+        taken=bool(record.get("t", 0)),
+        target=record.get("g"),
+        golden_result=record.get("r"),
+        store_value=record.get("v"),
+    )
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` in JSON-lines format."""
+    path = Path(path)
+    metadata = {key: value for key, value in trace.metadata.items()
+                if _json_safe(value)}
+    header = {"format": _FORMAT_VERSION, "trace": trace.name,
+              "source": trace.source, "metadata": metadata}
+    with path.open("w") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for op in trace.ops:
+            handle.write(json.dumps(_op_to_record(op)) + "\n")
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    with path.open() as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise TraceError(f"{path}: empty trace file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"{path}: bad header line") from exc
+    if header.get("format") != _FORMAT_VERSION:
+        raise TraceError(
+            f"{path}: unsupported format {header.get('format')!r}")
+    ops = []
+    for index, line in enumerate(lines[1:]):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{path}:{index + 2}: bad op record") from exc
+        ops.append(_record_to_op(len(ops), record))
+    metadata = header.get("metadata", {})
+    # JSON stringifies integer dict keys; restore the known int-keyed maps.
+    for key in ("initial_registers", "initial_memory"):
+        if key in metadata and isinstance(metadata[key], dict):
+            metadata[key] = {int(k): v for k, v in metadata[key].items()}
+    return Trace(name=header.get("trace", path.stem), ops=ops,
+                 source=header.get("source", "file"), metadata=metadata)
+
+
+def _json_safe(value) -> bool:
+    try:
+        json.dumps(value)
+        return True
+    except TypeError:
+        return False

@@ -1,0 +1,72 @@
+"""Tests for the top-level API surface and remaining loose ends."""
+
+import pytest
+
+import repro
+from repro.analysis.dvfs import _reindex
+from repro.baselines.freq_scaling import FrequencyScalingBaseline
+from repro.circuits.frequency import FrequencySolver
+from repro.isa.instructions import MicroOp
+from repro.isa.opcodes import Opcode
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quick_comparison(self):
+        row = repro.quick_comparison(vcc_mv=500.0, trace_length=1200)
+        assert row["frequency_gain"] == pytest.approx(0.57, abs=0.03)
+        assert 0 < row["performance_gain"] < row["frequency_gain"]
+
+
+class TestFrequencyScalingBaseline:
+    def test_is_the_honest_reference(self):
+        baseline = FrequencyScalingBaseline(FrequencySolver())
+        point = baseline.operating_point(500.0)
+        assert point.stabilization_cycles == 0
+        assert baseline.area_overhead() == 0.0
+        traits = baseline.characteristics()
+        assert traits["works_for_all_sram_blocks"]
+        assert not traits["large_ipc_impact"]
+
+    def test_core_setup_disables_mechanisms(self):
+        baseline = FrequencyScalingBaseline(FrequencySolver())
+        setup = baseline.core_setup(500.0)
+        assert not setup.iraw.active
+
+
+class TestDvfsReindex:
+    def test_reindex_preserves_everything_but_index(self):
+        original = MicroOp(17, Opcode.LD, dest=3, srcs=(4,), imm=8,
+                           pc=0x2000, mem_addr=0x4000, golden_result=99)
+        clone = _reindex(original, 2)
+        assert clone.index == 2
+        assert original.index == 17  # untouched
+        assert clone.opcode is original.opcode
+        assert clone.mem_addr == original.mem_addr
+        assert clone.golden_result == 99
+        assert clone.is_load
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+        leaf_errors = [
+            errors.ConfigError, errors.CalibrationError,
+            errors.VoltageRangeError, errors.TraceError,
+            errors.AssemblyError, errors.PipelineError,
+            errors.MemoryModelError,
+        ]
+        for error_type in leaf_errors:
+            assert issubclass(error_type, errors.ReproError)
+
+    def test_library_raises_catchable_base(self):
+        from repro.errors import ReproError
+        from repro.workloads.kernels import build_kernel
+        with pytest.raises(ReproError):
+            build_kernel("no-such-kernel")

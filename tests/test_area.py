@@ -1,0 +1,57 @@
+"""Tests for the area/power overhead accounting (paper Section 5.3)."""
+
+import pytest
+
+from repro.circuits.area import (
+    AreaModel,
+    CORE_TOTAL_TRANSISTORS,
+    IrawHardwareBudget,
+    TRANSISTORS_PER_LATCH_BIT,
+)
+
+
+class TestBudget:
+    def test_scoreboard_bits(self):
+        budget = IrawHardwareBudget(logical_registers=32, bypass_levels=1,
+                                    max_stabilization_cycles=2)
+        assert budget.scoreboard_extra_bits == 32 * 3
+
+    def test_stable_bits(self):
+        budget = IrawHardwareBudget(stable_entries=2, stable_address_bits=32,
+                                    stable_data_bits=64)
+        assert budget.stable_bits == 2 * (1 + 32 + 64)
+
+    def test_total_is_sum(self):
+        budget = IrawHardwareBudget()
+        assert budget.total_extra_bits == (
+            budget.scoreboard_extra_bits + budget.stable_bits
+            + budget.stall_counter_bits + budget.iq_gate_bits)
+
+    def test_transistor_conversion(self):
+        budget = IrawHardwareBudget()
+        assert budget.extra_transistors == (
+            budget.total_extra_bits * TRANSISTORS_PER_LATCH_BIT)
+
+
+class TestOverheads:
+    def test_area_below_paper_bound(self):
+        """Paper: area overhead ~0.03% (below 0.1%)."""
+        report = AreaModel().report()
+        assert report.area_overhead < 0.0005
+        assert report.area_overhead > 0.0
+
+    def test_power_below_one_percent(self):
+        """Paper: power overhead below 1% despite the 20x activity factor."""
+        report = AreaModel().report()
+        assert report.power_overhead < 0.01
+
+    def test_extra_bits_are_a_few_hundred(self):
+        report = AreaModel().report()
+        assert 100 < report.extra_bits < 1000
+
+    def test_sram_inventory_sane(self):
+        model = AreaModel()
+        sram = model.sram_transistors()
+        # The caches dominate: half a megabyte of 8-T cells and more.
+        assert sram > 30_000_000
+        assert sram < CORE_TOTAL_TRANSISTORS * 1.5

@@ -1,0 +1,71 @@
+"""Tests for the geometry-aware array timing model."""
+
+import pytest
+
+from repro.circuits.array_timing import ArrayTimingModel
+from repro.circuits.constants import default_delay_model
+from repro.circuits.sram import (
+    FIGURE1_ARRAY,
+    SramArray,
+    StructureClass,
+    silverthorne_arrays,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ArrayTimingModel(default_delay_model())
+
+
+class TestScaling:
+    def test_reference_array_is_identity(self, model):
+        assert model.wordline_scale(FIGURE1_ARRAY) == pytest.approx(1.0)
+        assert model.decoder_scale(FIGURE1_ARRAY) == pytest.approx(1.0)
+
+    def test_wider_wordline_groups_are_slower(self, model):
+        wide = SramArray("W", 1024, 32, StructureClass.INFREQUENT_WRITE,
+                         wordline_group_bits=32)
+        assert model.wordline_scale(wide) > 1.0
+
+    def test_sublinear_load_scaling(self, model):
+        wide = SramArray("W", 1024, 32, StructureClass.INFREQUENT_WRITE,
+                         wordline_group_bits=16)
+        assert 1.0 < model.wordline_scale(wide) < 2.0
+
+    def test_deeper_arrays_have_slower_decoders(self, model):
+        deep = SramArray("D", 8192, 32, StructureClass.INFREQUENT_WRITE)
+        shallow = SramArray("S", 16, 32, StructureClass.INFREQUENT_WRITE)
+        assert model.decoder_scale(deep) > model.decoder_scale(shallow)
+
+
+class TestTiming:
+    def test_components_positive(self, model):
+        timing = model.timing(FIGURE1_ARRAY, 500.0)
+        for value in (timing.wordline, timing.decoder, timing.write,
+                      timing.flip, timing.read):
+            assert value > 0
+
+    def test_iraw_phase_shorter_than_baseline(self, model):
+        for array in silverthorne_arrays():
+            timing = model.timing(array, 450.0)
+            assert timing.iraw_write_phase < timing.baseline_write_phase
+
+    def test_reference_matches_calibrated_model(self, model):
+        """For the Figure 1 array the composition equals the raw model."""
+        delays = default_delay_model()
+        timing = model.timing(FIGURE1_ARRAY, 500.0)
+        assert timing.baseline_write_phase == pytest.approx(
+            delays.write_with_wordline(500.0))
+
+
+class TestCriticalBlock:
+    def test_critical_block_found(self, model):
+        critical = model.critical_block(450.0)
+        assert critical.array.name in {a.name for a in silverthorne_arrays()}
+
+    def test_report_covers_all_blocks(self, model):
+        rows = model.block_report(500.0)
+        assert len(rows) == len(silverthorne_arrays())
+        for row in rows:
+            assert row["iraw_phase_vs_logic"] <= row[
+                "baseline_phase_vs_logic"]

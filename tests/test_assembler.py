@@ -1,0 +1,107 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.opcodes import Opcode
+from repro.workloads.assembler import CODE_BASE, assemble
+
+
+class TestBasics:
+    def test_simple_program(self):
+        program = assemble("""
+            li r1, 5
+            add r2, r1, r1
+            halt
+        """)
+        assert len(program) == 3
+        assert program.instructions[0].opcode is Opcode.LI
+        assert program.instructions[0].imm == 5
+        assert program.instructions[1].srcs == (1, 1)
+
+    def test_pcs_are_sequential(self):
+        program = assemble("nop\nnop\nhalt")
+        pcs = [inst.pc for inst in program.instructions]
+        assert pcs == [CODE_BASE, CODE_BASE + 4, CODE_BASE + 8]
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble("""
+            ; full-line comment
+
+            nop   ; trailing comment
+            halt
+        """)
+        assert len(program) == 2
+
+    def test_at_accessor(self):
+        program = assemble("nop\nhalt")
+        assert program.at(CODE_BASE).opcode is Opcode.NOP
+        with pytest.raises(AssemblyError):
+            program.at(CODE_BASE + 400)
+
+
+class TestLabels:
+    def test_forward_and_backward_references(self):
+        program = assemble("""
+            start:
+                beq r1, r2, end
+                jmp start
+            end:
+                halt
+        """)
+        beq, jmp, _ = program.instructions
+        assert beq.target_pc == program.labels["end"]
+        assert jmp.target_pc == program.labels["start"]
+
+    def test_label_on_same_line_as_instruction(self):
+        program = assemble("loop: jmp loop")
+        assert program.labels["loop"] == CODE_BASE
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("a:\nnop\na:\nhalt")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError, match="undefined"):
+            assemble("jmp nowhere")
+
+    def test_bad_label_name_rejected(self):
+        with pytest.raises(AssemblyError, match="bad label"):
+            assemble("9lives:\nnop")
+
+
+class TestOperandForms:
+    def test_immediate_second_operand(self):
+        program = assemble("add r1, r2, 42\nhalt")
+        inst = program.instructions[0]
+        assert inst.srcs == (2,)
+        assert inst.imm == 42
+
+    def test_register_second_operand(self):
+        program = assemble("add r1, r2, r3\nhalt")
+        assert program.instructions[0].srcs == (2, 3)
+
+    def test_negative_and_hex_immediates(self):
+        program = assemble("ld r1, r2, -8\nli r3, 0x10\nhalt")
+        assert program.instructions[0].imm == -8
+        assert program.instructions[1].imm == 16
+
+    def test_store_operands(self):
+        program = assemble("st r4, r5, 24\nhalt")
+        inst = program.instructions[0]
+        assert inst.srcs == (4, 5)
+        assert inst.imm == 24
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects"):
+            assemble("add r1, r2")
+        with pytest.raises(AssemblyError, match="expects"):
+            assemble("ret r1")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblyError):
+            assemble("li r1, banana")

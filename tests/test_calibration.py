@@ -1,0 +1,55 @@
+"""Tests for the anchor-point calibration (repro.circuits.calibration)."""
+
+import pytest
+
+from repro.circuits import constants
+from repro.circuits.calibration import anchor_report, fit_model, make_logic_device
+
+
+class TestFit:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        return fit_model()
+
+    def test_fit_reproduces_pinned_constants(self, fitted):
+        """The pinned constants in constants.py must match a fresh fit."""
+        assert fitted.write_device.vth_mv == pytest.approx(
+            constants.WRITE_VTH_MV, rel=1e-3)
+        assert fitted.write_device.n == pytest.approx(
+            constants.WRITE_N, rel=1e-3)
+        assert fitted.write_device.kd == pytest.approx(
+            constants.WRITE_KD, rel=1e-2)
+        assert fitted.flip_device.vth_mv == pytest.approx(
+            constants.FLIP_VTH_MV, rel=1e-3)
+        assert fitted.wordline_fraction == pytest.approx(
+            constants.WORDLINE_FRACTION, rel=1e-2)
+        assert fitted.stabilization_slowdown == pytest.approx(
+            constants.STABILIZATION_SLOWDOWN, rel=1e-2)
+
+    def test_all_anchors_within_tolerance(self, fitted):
+        for anchor in anchor_report(fitted):
+            assert anchor.relative_error < 0.10, anchor.name
+
+    def test_stabilization_slowdown_physical(self, fitted):
+        """Unassisted flip cannot be faster than the assisted write."""
+        assert fitted.stabilization_slowdown >= 1.0
+
+
+class TestLogicDevice:
+    def test_normalized_at_700(self):
+        logic = make_logic_device()
+        assert logic.delay(700.0) == pytest.approx(1.0)
+
+    def test_pinned_logic_parameters(self):
+        logic = make_logic_device()
+        assert logic.vth_mv == constants.LOGIC_VTH_MV
+        assert logic.n == constants.LOGIC_N
+
+
+class TestDefaultModel:
+    def test_default_model_is_consistent(self):
+        model = constants.default_delay_model()
+        assert model.read_fraction == constants.READ_FRACTION
+        assert model.wordline_fraction == pytest.approx(
+            constants.WORDLINE_FRACTION)
+        assert model.logic(700.0) == pytest.approx(1.0)

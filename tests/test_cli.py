@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFigures:
+    def test_circuit_figures(self, capsys):
+        assert main(["figures", "--artifact", "circuit", "--step", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "Figure 11(a)" in out
+
+    def test_single_artifact(self, capsys):
+        assert main(["figures", "--artifact", "fig1", "--step", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "Figure 11" not in out
+
+
+class TestSimulate:
+    def test_kernel_run(self, capsys):
+        code = main(["simulate", "--kernel", "fib", "--size", "12",
+                     "--vcc", "500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPC:" in out
+        assert "golden-value mismatches: 0" in out
+        assert "violations:   0" in out
+
+    def test_profile_run(self, capsys):
+        code = main(["simulate", "--profile", "kernel-like",
+                     "--length", "1500", "--vcc", "450", "--cold"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "450 mV" in out
+
+    def test_baseline_scheme(self, capsys):
+        code = main(["simulate", "--kernel", "dot", "--size", "8",
+                     "--scheme", "baseline"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "N=0" in out
+
+
+class TestTraceCommand:
+    def test_generate_and_rerun(self, tmp_path, capsys):
+        out_file = tmp_path / "t.jsonl"
+        assert main(["trace", "--profile", "office-like",
+                     "--length", "600", "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        assert main(["simulate", "--trace-file", str(out_file),
+                     "--vcc", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "600 instructions" in out
+
+
+class TestInfoCommands:
+    def test_kernels_listing(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul" in out and "pointer_chase" in out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate"]) == 0
+        out = capsys.readouterr().out
+        assert "Calibration anchors" in out
+        assert "crossover" in out
+
+    def test_compare_small(self, capsys):
+        assert main(["compare", "--vcc", "500", "--length", "1200"]) == 0
+        out = capsys.readouterr().out
+        assert "frequency_gain" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,91 @@
+"""Tests for the calibrated delay curves (Figure 1 reproduction)."""
+
+import pytest
+
+from repro.circuits.constants import default_delay_model
+from repro.circuits.ekv import voltage_grid
+
+
+@pytest.fixture(scope="module")
+def model():
+    return default_delay_model()
+
+
+class TestNormalization:
+    def test_logic_phase_is_one_at_700(self, model):
+        assert model.logic(700.0) == pytest.approx(1.0)
+
+    def test_logic_grows_modestly(self, model):
+        """The paper: 'most of the delays grow almost linearly'."""
+        assert 2.0 < model.logic(400.0) < 6.0
+
+
+class TestFigure1Shape:
+    def test_write_crossover_near_525(self, model):
+        """Bitcell-only write crosses 12 FO4 between 500 and 550 mV."""
+        assert model.write(550.0) < model.logic(550.0) * 1.1
+        assert model.write(500.0) > model.logic(500.0)
+
+    def test_write_with_wordline_crossover_near_600(self, model):
+        ratio_625 = model.write_with_wordline(625.0) / model.logic(625.0)
+        ratio_575 = model.write_with_wordline(575.0) / model.logic(575.0)
+        assert ratio_625 < 1.05
+        assert ratio_575 > 1.0
+
+    def test_read_stays_below_logic(self, model):
+        """8-T read ports keep read+WL under the 12 FO4 chain (Sec 2.1)."""
+        for vcc in voltage_grid(25.0):
+            assert model.read_with_wordline(vcc) < model.logic(vcc)
+
+    def test_write_grows_exponentially(self, model):
+        """Write delay growth accelerates as Vcc drops (Figure 1)."""
+        g_high = model.write(550.0) / model.write(600.0)
+        g_low = model.write(450.0) / model.write(500.0)
+        assert g_low > g_high > 1.0
+
+    def test_wordline_tracks_logic(self, model):
+        """WL activation 'slope resembles that of the 12 FO4 chain'."""
+        for vcc in (700.0, 550.0, 400.0):
+            assert (model.wordline(vcc) / model.logic(vcc)
+                    == pytest.approx(model.wordline_fraction))
+
+    def test_figure1_row_contains_all_series(self, model):
+        row = model.figure1_row(500.0)
+        assert set(row) == {"vcc_mv", "logic_12fo4", "bitcell_write",
+                            "bitcell_read", "write_plus_wordline",
+                            "read_plus_wordline"}
+        assert row["write_plus_wordline"] > row["bitcell_write"]
+
+
+class TestPaperFrequencyAnchors:
+    def test_550mv_frequency_fraction(self, model):
+        """Paper: baseline frequency drops to ~77% at 550 mV."""
+        fraction = model.logic(550.0) / model.write_with_wordline(550.0)
+        assert fraction == pytest.approx(0.77, abs=0.06)
+
+    def test_450mv_frequency_fraction(self, model):
+        """Paper: baseline frequency drops to ~24% at 450 mV."""
+        fraction = model.logic(450.0) / model.write_with_wordline(450.0)
+        assert fraction == pytest.approx(0.24, abs=0.04)
+
+    def test_500mv_cycle_roughly_doubles(self, model):
+        ratio = model.write_with_wordline(500.0) / model.logic(500.0)
+        assert 1.7 < ratio < 2.3
+
+
+class TestStabilization:
+    def test_completed_write_needs_no_stabilization(self, model):
+        full = model.write(500.0)
+        assert model.stabilization_time(500.0, full) == 0.0
+        assert model.stabilization_time(500.0, full * 2) == 0.0
+
+    def test_interrupted_write_needs_stabilization(self, model):
+        partial = model.flip(500.0)
+        remaining = model.stabilization_time(500.0, partial)
+        assert remaining > 0
+        # Unassisted completion is slower than the assisted write would be.
+        assert remaining > (model.write(500.0) - partial)
+
+    def test_flip_below_full_write(self, model):
+        for vcc in voltage_grid(25.0):
+            assert model.flip(vcc) < model.write(vcc)

@@ -1,0 +1,97 @@
+"""Tests for the EKV current/delay model (repro.circuits.ekv)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuits.ekv import (
+    Device,
+    VCC_MAX_MV,
+    VCC_MIN_MV,
+    check_voltage,
+    softplus,
+    voltage_grid,
+)
+from repro.errors import VoltageRangeError
+
+
+class TestSoftplus:
+    def test_matches_reference_in_normal_range(self):
+        for x in (-5.0, -1.0, 0.0, 0.5, 3.0, 20.0):
+            assert softplus(x) == pytest.approx(math.log1p(math.exp(x)))
+
+    def test_large_positive_is_identity(self):
+        assert softplus(100.0) == 100.0
+
+    def test_large_negative_is_exponential(self):
+        assert softplus(-100.0) == pytest.approx(math.exp(-100.0))
+
+    @given(st.floats(min_value=-50, max_value=50))
+    def test_positive_and_increasing(self, x):
+        assert softplus(x) > 0
+        assert softplus(x + 0.1) > softplus(x)
+
+
+class TestDevice:
+    def test_current_increases_with_voltage(self):
+        dev = Device("d", vth_mv=300.0, n=1.5, kd=1.0)
+        currents = [dev.current(v) for v in (400, 500, 600, 700)]
+        assert currents == sorted(currents)
+        assert currents[0] > 0
+
+    def test_delay_decreases_with_voltage(self):
+        dev = Device("d", vth_mv=300.0, n=1.5, kd=1.0)
+        delays = [dev.delay(v) for v in (400, 500, 600, 700)]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_subthreshold_growth_is_exponential(self):
+        """Below Vth, halving the overdrive multiplies delay hugely."""
+        dev = Device("weak", vth_mv=450.0, n=1.0, kd=1.0)
+        ratio_high = dev.delay(600.0) / dev.delay(650.0)
+        ratio_low = dev.delay(400.0) / dev.delay(450.0)
+        assert ratio_low > ratio_high  # super-linear growth at low Vcc
+
+    def test_scaled_to_pins_delay(self):
+        dev = Device("d", vth_mv=250.0, n=1.4, kd=3.7)
+        scaled = dev.scaled_to(700.0, 1.0)
+        assert scaled.delay(700.0) == pytest.approx(1.0)
+        # Shape is preserved: ratios unchanged.
+        assert (scaled.delay(500.0) / scaled.delay(700.0)
+                == pytest.approx(dev.delay(500.0) / dev.delay(700.0)))
+
+    def test_delay_outside_range_raises(self):
+        dev = Device("d", vth_mv=300.0, n=1.5, kd=1.0)
+        with pytest.raises(VoltageRangeError):
+            dev.delay(399.9)
+        with pytest.raises(VoltageRangeError):
+            dev.delay(700.1)
+
+    @given(st.floats(min_value=VCC_MIN_MV, max_value=VCC_MAX_MV))
+    def test_delay_positive_everywhere(self, vcc):
+        dev = Device("d", vth_mv=420.0, n=0.9, kd=0.01)
+        assert dev.delay(vcc) > 0
+
+
+class TestVoltageHelpers:
+    def test_check_voltage_bounds(self):
+        check_voltage(VCC_MIN_MV)
+        check_voltage(VCC_MAX_MV)
+        with pytest.raises(VoltageRangeError):
+            check_voltage(VCC_MIN_MV - 1)
+
+    def test_grid_matches_paper_sweep(self):
+        grid = voltage_grid(25.0)
+        assert grid[0] == 700.0
+        assert grid[-1] == 400.0
+        assert len(grid) == 13
+
+    def test_grid_custom_step(self):
+        grid = voltage_grid(50.0)
+        assert grid == [700.0, 650.0, 600.0, 550.0, 500.0, 450.0, 400.0]
+
+    def test_grid_rejects_bad_step(self):
+        with pytest.raises(VoltageRangeError):
+            voltage_grid(0.0)
+        with pytest.raises(VoltageRangeError):
+            voltage_grid(-25.0)

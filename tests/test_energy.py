@@ -1,0 +1,93 @@
+"""Tests for the energy/EDP model (Figure 12 and the 450 mV example)."""
+
+import pytest
+
+from repro.circuits.energy import (
+    EnergyModel,
+    LEAKAGE_SHARE_AT_CALIBRATION,
+    paper_450mv_example,
+)
+
+
+@pytest.fixture()
+def model():
+    return EnergyModel()
+
+
+class TestCalibration:
+    def test_leakage_share_at_600mv(self, model):
+        breakdown = model.task_energy(600.0, execution_time_s=1.0)
+        assert breakdown.leakage_share == pytest.approx(
+            LEAKAGE_SHARE_AT_CALIBRATION)
+
+    def test_dynamic_scales_quadratically(self, model):
+        e600 = model.dynamic_energy_j(600.0)
+        e450 = model.dynamic_energy_j(450.0)
+        assert e450 / e600 == pytest.approx((450 / 600) ** 2)
+
+    def test_leakage_current_grows_10pct_per_25mv(self, model):
+        p600 = model.leakage_power_w(600.0)
+        p575 = model.leakage_power_w(575.0)
+        # Power = current x Vcc: current factor 1.1, voltage factor 575/600.
+        assert p575 / p600 == pytest.approx(1.1 * 575 / 600)
+
+    def test_overhead_adder(self, model):
+        base = model.dynamic_energy_j(500.0)
+        with_ovh = model.dynamic_energy_j(500.0, overhead=0.01)
+        assert with_ovh / base == pytest.approx(1.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            EnergyModel(reference_dynamic_j=0.0)
+        with pytest.raises(ValueError):
+            EnergyModel().task_energy(500.0, execution_time_s=0.0)
+
+
+class TestRelativeMetrics:
+    def test_high_vcc_iraw_slightly_worse(self, model):
+        """Paper Figure 12: ~1% worse energy when IRAW is idle (>=600mV)."""
+        row = model.relative_metrics(650.0, baseline_time_s=1.0,
+                                     iraw_time_s=1.0)
+        assert row["delay_ratio"] == pytest.approx(1.0)
+        assert 1.0 < row["energy_ratio"] < 1.02
+        assert 1.0 < row["edp_ratio"] < 1.02
+
+    def test_low_vcc_iraw_wins_all_metrics(self, model):
+        """With the paper-implied time ratio at 450 mV (3.82 vs 2.13)."""
+        row = model.relative_metrics(450.0, baseline_time_s=3.82,
+                                     iraw_time_s=2.13)
+        assert row["delay_ratio"] < 1.0
+        assert row["energy_ratio"] < 1.0
+        assert row["edp_ratio"] < row["energy_ratio"]
+
+    def test_edp_anchor_450mv(self, model):
+        """Paper: relative EDP ~0.41 at 450 mV."""
+        row = model.relative_metrics(450.0, baseline_time_s=3.82,
+                                     iraw_time_s=2.13)
+        assert row["edp_ratio"] == pytest.approx(0.41, abs=0.08)
+
+    def test_edp_anchor_500mv(self, model):
+        """Paper: relative EDP ~0.61 at 500 mV (times implied by gains)."""
+        row = model.relative_metrics(500.0, baseline_time_s=1.857,
+                                     iraw_time_s=1.857 / 1.48)
+        assert row["edp_ratio"] == pytest.approx(0.61, abs=0.10)
+
+
+class TestPaperExample:
+    def test_450mv_joule_accounting(self, model):
+        """Paper Section 5.3: 5 J unconstrained, 8.50 J baseline, 6.40 J IRAW."""
+        cases = paper_450mv_example(model, unconstrained_time_s=1.0,
+                                    baseline_time_s=3.82,
+                                    iraw_time_s=2.13)
+        assert cases["unconstrained"].total_j == pytest.approx(5.0)
+        # Leakage split: paper reports 1.24 J / 4.74 J / 2.64 J.  Our model
+        # reproduces the structure (leakage grows linearly with time) even
+        # though the absolute split differs with the leakage-power model.
+        assert cases["baseline"].total_j > cases["iraw"].total_j > 5.0
+        ratio = (cases["baseline"].leakage_j
+                 / cases["unconstrained"].leakage_j)
+        assert ratio == pytest.approx(3.82, rel=1e-3)
+
+    def test_breakdown_edp(self, model):
+        b = model.task_energy(500.0, execution_time_s=2.0)
+        assert b.edp == pytest.approx(b.total_j * 2.0)

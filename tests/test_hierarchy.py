@@ -1,0 +1,100 @@
+"""Tests for the composed memory system (fetch/load/store paths)."""
+
+import pytest
+
+from repro.memory.hierarchy import MemoryConfig, MemorySystem
+
+
+@pytest.fixture()
+def memory():
+    return MemorySystem(MemoryConfig(dram_latency_cycles=100))
+
+
+class TestFetchPath:
+    def test_cold_fetch_misses_everywhere(self, memory):
+        response = memory.fetch(0x1000, cycle=0)
+        blocks = {name for name, _ in response.fills}
+        assert "ITLB" in blocks and "IL0" in blocks and "UL1" in blocks
+        assert not response.hit
+        # ITLB walk + UL1 + DRAM all contribute.
+        assert response.ready_cycle > 100
+
+    def test_warm_fetch_is_fast(self, memory):
+        memory.fetch(0x1000, cycle=0)
+        response = memory.fetch(0x1000, cycle=500)
+        assert response.hit
+        assert response.ready_cycle == 500 + memory.config.il0_hit_latency
+        assert response.fills == ()
+
+    def test_il0_hit_after_ul1_warm(self, memory):
+        memory.fetch(0x1000, cycle=0)
+        memory.il0.invalidate(0x1000)
+        response = memory.fetch(0x1000, cycle=500)
+        fills = dict(response.fills)
+        assert "IL0" in fills
+        # UL1 hit: refill latency is the UL1 hit latency, no DRAM trip.
+        assert response.ready_cycle == 500 + memory.config.ul1_hit_latency
+
+
+class TestLoadPath:
+    def test_cold_load_goes_to_dram(self, memory):
+        response = memory.load(0x4000, cycle=0)
+        assert not response.hit
+        blocks = dict(response.fills)
+        assert "DTLB" in blocks and "DL0" in blocks and "UL1" in blocks
+        assert response.ready_cycle >= 100
+
+    def test_warm_load_hits_dl0(self, memory):
+        memory.load(0x4000, cycle=0)
+        response = memory.load(0x4008, cycle=500)  # same line
+        assert response.hit
+        assert response.ready_cycle == 500 + memory.config.dl0_hit_latency
+
+    def test_fill_buffer_merge_on_same_line(self, memory):
+        memory.load(0x4000, cycle=0)
+        first = memory.load(0x8000, cycle=500)
+        second = memory.load(0x8008, cycle=501)  # in-flight same line
+        assert second.ready_cycle == first.ready_cycle
+
+    def test_dirty_eviction_flows_to_wcb(self, memory):
+        config = memory.config
+        set_stride = memory.dl0.num_sets * config.line_size
+        base = 0x100000
+        # Dirty one line, then overflow its set with clean fills.
+        memory.store(base, cycle=0)
+        for way in range(1, config.dl0_assoc + 1):
+            memory.load(base + way * set_stride, cycle=1000 + way * 300)
+        assert memory.wcb.pushes >= 1
+
+
+class TestStorePath:
+    def test_store_hit_completes_quickly(self, memory):
+        memory.load(0x4000, cycle=0)
+        response = memory.store(0x4000, cycle=500)
+        assert response.hit
+        assert response.ready_cycle == 501
+
+    def test_store_miss_write_allocates(self, memory):
+        response = memory.store(0x9000, cycle=0)
+        assert not response.hit
+        assert memory.dl0.lookup(0x9000)
+
+
+class TestWarmupReset:
+    def test_reset_keeps_contents_drops_stats(self, memory):
+        memory.load(0x4000, cycle=0)
+        memory.fetch(0x1000, cycle=0)
+        memory.reset_after_warmup()
+        assert memory.dl0.accesses == 0
+        assert memory.il0.accesses == 0
+        assert memory.dram.requests == 0
+        # Contents survive: immediate hits.
+        assert memory.load(0x4000, cycle=10).hit
+        assert memory.fetch(0x1000, cycle=10).hit
+
+    def test_stats_shape(self, memory):
+        memory.load(0x4000, cycle=0)
+        stats = memory.stats()
+        assert set(stats) >= {"IL0", "DL0", "UL1", "ITLB", "DTLB",
+                              "FB", "WCB_EB"}
+        assert stats["DL0"]["misses"] == 1

@@ -1,0 +1,171 @@
+"""Tests for the functional interpreter and the kernel library."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads.assembler import assemble
+from repro.workloads.interpreter import run_program
+from repro.workloads.kernels import (
+    KERNEL_BUILDERS,
+    RESULT_ADDRESS,
+    build_kernel,
+    kernel_trace,
+)
+
+
+def python_fib(n):
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return b
+
+
+class TestInterpreterBasics:
+    def test_halt_stops_execution(self):
+        trace, state = run_program(assemble("li r1, 1\nhalt\nli r1, 2"))
+        assert state.registers[1] == 1
+        assert len(trace) == 1
+
+    def test_branch_taken_path(self):
+        trace, state = run_program(assemble("""
+            li r1, 1
+            beq r1, r1, skip
+            li r2, 99
+        skip:
+            halt
+        """))
+        assert state.registers[2] == 0
+
+    def test_call_and_return(self):
+        trace, state = run_program(assemble("""
+            call fn
+            li r2, 2
+            halt
+        fn:
+            li r1, 1
+            ret
+        """))
+        assert state.registers[1] == 1
+        assert state.registers[2] == 2
+
+    def test_ret_without_call_raises(self):
+        with pytest.raises(TraceError, match="empty call stack"):
+            run_program(assemble("ret"))
+
+    def test_runaway_program_raises(self):
+        with pytest.raises(TraceError, match="exceeded"):
+            run_program(assemble("loop: jmp loop"), max_instructions=100)
+
+    def test_memory_round_trip(self):
+        trace, state = run_program(assemble("""
+            li r1, 0x1000
+            li r2, 77
+            st r2, r1, 8
+            ld r3, r1, 8
+            halt
+        """))
+        assert state.registers[3] == 77
+        assert state.read_mem(0x1008) == 77
+
+    def test_trace_carries_golden_values(self):
+        trace, _ = run_program(assemble("li r1, 5\nadd r2, r1, r1\nhalt"))
+        assert trace.ops[0].golden_result == 5
+        assert trace.ops[1].golden_result == 10
+        assert trace.has_golden_values()
+
+
+class TestKernels:
+    def test_fib_value(self):
+        _, state = kernel_trace("fib", 12)
+        assert state.memory[RESULT_ADDRESS] == python_fib(12)
+
+    def test_memcpy_copies_everything(self):
+        spec = build_kernel("memcpy", 24)
+        _, state = spec.run()
+        for i in range(24):
+            src = spec.initial_memory[0x10000 + 8 * i]
+            assert state.read_mem(0x40000 + 8 * i) == src
+
+    def test_dot_product(self):
+        spec = build_kernel("dot", 16)
+        _, state = spec.run()
+        expected = sum((i + 1) * (2 * i + 3) for i in range(16))
+        assert state.memory[RESULT_ADDRESS] == expected
+
+    def test_matmul_against_reference(self):
+        spec = build_kernel("matmul", 4)
+        _, state = spec.run()
+        n = 4
+        a = [[(r * n + c) % 7 + 1 for c in range(n)] for r in range(n)]
+        b = [[(r * n + c) % 5 + 1 for c in range(n)] for r in range(n)]
+        for i in range(n):
+            for j in range(n):
+                expected = sum(a[i][k] * b[k][j] for k in range(n))
+                got = state.read_mem(0x30000 + 8 * (i * n + j))
+                assert got == expected, (i, j)
+
+    def test_pointer_chase_sums_all_nodes(self):
+        spec = build_kernel("pointer_chase", 10)
+        _, state = spec.run()
+        expected = sum((i * 31 + 7) & 0xFFFF for i in range(10))
+        assert state.memory[RESULT_ADDRESS] == expected
+
+    def test_strfind_finds_key(self):
+        _, state = kernel_trace("strfind", 16)
+        assert state.memory[RESULT_ADDRESS] == 16 * 3 // 4
+
+    def test_sort_produces_sorted_array(self):
+        spec = build_kernel("sort", 32)
+        _, state = spec.run()
+        values = [state.read_mem(0x10000 + 8 * i) for i in range(32)]
+        assert values == sorted(values)
+
+    def test_store_forward_counts_iterations(self):
+        _, state = kernel_trace("store_forward", 9)
+        assert state.memory[RESULT_ADDRESS] == 10  # starts at 1, +1 each
+
+    def test_calls_increments_counters(self):
+        _, state = kernel_trace("calls", 6)
+        assert state.memory[RESULT_ADDRESS] == 6
+
+    def test_every_kernel_runs(self):
+        for name in KERNEL_BUILDERS:
+            trace, _ = kernel_trace(name, 6)
+            assert len(trace) > 0
+            assert trace.source == "interpreter"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(TraceError, match="unknown kernel"):
+            build_kernel("quicksort3000")
+
+    def test_metadata_carries_initial_state(self):
+        trace, _ = kernel_trace("matmul", 3)
+        assert "initial_registers" in trace.metadata
+        assert trace.metadata["initial_registers"][7] == 3
+
+
+class TestAdditionalKernels:
+    def test_crc_is_deterministic_mixing(self):
+        _, a = kernel_trace("crc", 20)
+        _, b = kernel_trace("crc", 20)
+        assert a.memory[RESULT_ADDRESS] == b.memory[RESULT_ADDRESS]
+        _, c = kernel_trace("crc", 21)
+        assert c.memory[RESULT_ADDRESS] != a.memory[RESULT_ADDRESS]
+
+    def test_histogram_counts_every_element(self):
+        _, state = kernel_trace("histogram", 40)
+        total = sum(state.read_mem(0x20000 + 8 * b) for b in range(16))
+        assert total == 40
+
+    def test_stack_round_trips_all_pushes(self):
+        _, state = kernel_trace("stack", 12)
+        assert state.memory[RESULT_ADDRESS] == sum(3 * (i + 1)
+                                                   for i in range(12))
+
+    def test_binsearch_finds_multiples_of_three(self):
+        n = 32
+        _, state = kernel_trace("binsearch", n)
+        searches = min(16, n)
+        expected = sum(1 for j in range(searches)
+                       if (5 * j) % 3 == 0 and (5 * j) // 3 < n)
+        assert state.memory[RESULT_ADDRESS] == expected

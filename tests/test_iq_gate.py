@@ -1,0 +1,92 @@
+"""Tests for the IQ occupancy gate (paper Figure 9, Eq. 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.iq_gate import IqOccupancyGate
+from repro.errors import ConfigError
+
+
+class TestThreshold:
+    def test_equation_one(self):
+        """threshold = ICI + AI*N."""
+        gate = IqOccupancyGate(iq_size=32, issue_window=2, alloc_width=2)
+        gate.configure(stabilization_cycles=1, enabled=True)
+        assert gate.threshold == 2 + 2 * 1
+        gate.configure(stabilization_cycles=2, enabled=True)
+        assert gate.threshold == 2 + 2 * 2
+
+    def test_shift_trick_matches_multiply(self):
+        """Figure 9: appending '0' to the right of N == N * AI for AI=2."""
+        gate = IqOccupancyGate(alloc_width=2)
+        for n in range(4):
+            gate.configure(n, enabled=True)
+            assert gate.threshold == 2 + (n << 1)
+
+    def test_non_power_alloc_width(self):
+        gate = IqOccupancyGate(iq_size=32, issue_window=2, alloc_width=3)
+        gate.configure(2, enabled=True)
+        assert gate.threshold == 2 + 6
+
+
+class TestGating:
+    def test_blocks_below_threshold(self):
+        gate = IqOccupancyGate()
+        gate.configure(1, enabled=True)
+        assert not gate.allows_issue(3)
+        assert gate.allows_issue(4)
+        assert gate.allows_issue(30)
+
+    def test_disabled_gate_always_allows(self):
+        """The stall_issue? signal of Figure 9 set to 0."""
+        gate = IqOccupancyGate()
+        gate.configure(1, enabled=False)
+        assert gate.allows_issue(0)
+        gate.configure(0, enabled=True)  # N=0: writes fit the cycle
+        assert gate.allows_issue(1)
+
+    def test_drain_noops(self):
+        """Section 4.2: AI*N NOOPs injected when the pipeline drains."""
+        gate = IqOccupancyGate(alloc_width=2)
+        gate.configure(1, enabled=True)
+        assert gate.drain_noops == 2
+        gate.configure(0, enabled=True)
+        assert gate.drain_noops == 0
+
+
+class TestPointerArithmetic:
+    def test_simple_cases(self):
+        gate = IqOccupancyGate(iq_size=32)
+        assert gate.occupancy_from_pointers(head=0, tail=5) == 5
+        assert gate.occupancy_from_pointers(head=30, tail=2) == 4
+        assert gate.occupancy_from_pointers(head=7, tail=7) == 0
+
+    @given(head=st.integers(min_value=0, max_value=31),
+           tail=st.integers(min_value=0, max_value=31))
+    def test_matches_modular_arithmetic(self, head, tail):
+        """The Figure 9 bit trick equals (tail - head) mod IQsize."""
+        gate = IqOccupancyGate(iq_size=32)
+        assert (gate.occupancy_from_pointers(head, tail)
+                == (tail - head) % 32)
+
+    @given(head=st.integers(min_value=0, max_value=63),
+           tail=st.integers(min_value=0, max_value=63))
+    def test_other_queue_size(self, head, tail):
+        gate = IqOccupancyGate(iq_size=64)
+        assert (gate.occupancy_from_pointers(head, tail)
+                == (tail - head) % 64)
+
+
+class TestValidation:
+    def test_power_of_two_queue(self):
+        with pytest.raises(ConfigError):
+            IqOccupancyGate(iq_size=33)
+
+    def test_positive_widths(self):
+        with pytest.raises(ConfigError):
+            IqOccupancyGate(issue_window=0)
+
+    def test_negative_n(self):
+        gate = IqOccupancyGate()
+        with pytest.raises(ConfigError):
+            gate.configure(-1, enabled=True)

@@ -1,0 +1,136 @@
+"""Tests for the mini ISA: opcodes, registers, micro-ops, semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TraceError
+from repro.isa.instructions import MicroOp, nop
+from repro.isa.opcodes import (
+    CONTROL_CLASSES,
+    DEFAULT_LATENCY,
+    LONG_LATENCY_CLASSES,
+    OPCODE_CLASS,
+    UNPIPELINED_CLASSES,
+    OpClass,
+    Opcode,
+)
+from repro.isa.registers import NUM_REGISTERS, parse_register, register_name
+from repro.isa.semantics import alu_result, branch_taken, to_signed64, wrap64
+
+
+class TestOpcodeTables:
+    def test_every_opcode_has_a_class(self):
+        for opcode in Opcode:
+            assert opcode in OPCODE_CLASS
+
+    def test_every_class_has_a_latency(self):
+        for opclass in OpClass:
+            assert DEFAULT_LATENCY[opclass] >= 1
+
+    def test_divides_are_long_latency_and_unpipelined(self):
+        assert OpClass.INT_DIV in LONG_LATENCY_CLASSES
+        assert OpClass.FP_DIV in UNPIPELINED_CLASSES
+
+    def test_control_classes(self):
+        assert OPCODE_CLASS[Opcode.BEQ] in CONTROL_CLASSES
+        assert OPCODE_CLASS[Opcode.CALL] in CONTROL_CLASSES
+        assert OPCODE_CLASS[Opcode.ADD] not in CONTROL_CLASSES
+
+
+class TestRegisters:
+    def test_parse_plain(self):
+        assert parse_register("r0") == 0
+        assert parse_register("R31") == 31
+
+    def test_parse_aliases(self):
+        assert parse_register("sp") == 29
+        assert parse_register("lr") == 30
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("r32", "x1", "r-1", "", "r1.5"):
+            with pytest.raises(TraceError):
+                parse_register(bad)
+
+    def test_register_name_roundtrip(self):
+        for index in range(NUM_REGISTERS):
+            assert parse_register(register_name(index)) == index
+
+    def test_register_name_out_of_range(self):
+        with pytest.raises(TraceError):
+            register_name(NUM_REGISTERS)
+
+
+class TestMicroOp:
+    def test_precomputed_flags(self):
+        load = MicroOp(0, Opcode.LD, dest=1, srcs=(2,), mem_addr=64)
+        assert load.is_load and not load.is_store and not load.is_control
+        store = MicroOp(1, Opcode.ST, srcs=(1, 2), mem_addr=64)
+        assert store.is_store
+        ret = MicroOp(2, Opcode.RET, taken=True)
+        assert ret.is_control and ret.is_return
+
+    def test_memory_op_requires_address(self):
+        with pytest.raises(TraceError):
+            MicroOp(0, Opcode.LD, dest=1, srcs=(2,))
+
+    def test_register_bounds_checked(self):
+        with pytest.raises(TraceError):
+            MicroOp(0, Opcode.ADD, dest=99, srcs=(1, 2))
+        with pytest.raises(TraceError):
+            MicroOp(0, Opcode.ADD, dest=1, srcs=(99,))
+
+    def test_nop_helper(self):
+        op = nop(7, pc=0x40)
+        assert op.opclass is OpClass.NOP
+        assert op.index == 7
+
+    def test_repr_is_informative(self):
+        op = MicroOp(3, Opcode.BNE, srcs=(4,), taken=True, target=0x100)
+        text = repr(op)
+        assert "bne" in text and "T" in text
+
+
+class TestSemantics:
+    def test_basic_arithmetic(self):
+        assert alu_result(Opcode.ADD, 2, 3, 0) == 5
+        assert alu_result(Opcode.SUB, 10, 4, 0) == 6
+        assert alu_result(Opcode.MUL, 7, 6, 0) == 42
+        assert alu_result(Opcode.DIV, 42, 6, 0) == 7
+
+    def test_division_semantics(self):
+        assert alu_result(Opcode.DIV, 7, 0, 0) == (1 << 64) - 1
+        assert to_signed64(alu_result(Opcode.DIV, wrap64(-7), 2, 0)) == -4
+
+    def test_shifts_use_immediate(self):
+        assert alu_result(Opcode.SHL, 1, 0, 5) == 32
+        assert alu_result(Opcode.SHR, 32, 0, 3) == 4
+
+    def test_comparisons(self):
+        assert alu_result(Opcode.CMPLT, wrap64(-1), 0, 0) == 1
+        assert alu_result(Opcode.CMPLT, 1, 0, 0) == 0
+        assert alu_result(Opcode.CMPEQ, 5, 5, 0) == 1
+
+    def test_wraparound(self):
+        top = (1 << 64) - 1
+        assert alu_result(Opcode.ADD, top, 1, 0) == 0
+
+    def test_branch_conditions(self):
+        assert branch_taken(Opcode.BEQ, 3, 3)
+        assert not branch_taken(Opcode.BEQ, 3, 4)
+        assert branch_taken(Opcode.BLT, wrap64(-5), 0)
+        assert branch_taken(Opcode.BGE, 0, 0)
+        assert branch_taken(Opcode.JMP, 0, 0)
+
+    def test_branch_on_non_control_raises(self):
+        with pytest.raises(TraceError):
+            branch_taken(Opcode.ADD, 1, 2)
+
+    @given(st.integers(min_value=-(2 ** 70), max_value=2 ** 70))
+    def test_signed_unsigned_roundtrip(self, value):
+        assert wrap64(to_signed64(value)) == wrap64(value)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_add_sub_inverse(self, a, b):
+        total = alu_result(Opcode.ADD, a, b, 0)
+        assert alu_result(Opcode.SUB, total, b, 0) == a

@@ -1,0 +1,112 @@
+"""Tests for aggregation metrics and ASCII reporting."""
+
+import pytest
+
+from repro.analysis.metrics import PointResult, geometric_mean, speedup
+from repro.analysis.reporting import format_table, format_value, percent
+from repro.circuits.frequency import ClockScheme, FrequencySolver
+from repro.pipeline.stats import SimulationResult, StallStats
+
+
+def make_result(cycles, instructions=1000, name="t"):
+    return SimulationResult(
+        trace_name=name, config_name="c", instructions=instructions,
+        cycles=cycles, stalls=StallStats(), iraw_violations=0,
+        value_mismatches=0, branch_mispredicts=0, branches=1)
+
+
+def make_point(vcc, scheme, cycles_list):
+    solver = FrequencySolver()
+    point = solver.operating_point(vcc, scheme)
+    results = tuple(make_result(c, name=f"t{i}")
+                    for i, c in enumerate(cycles_list))
+    return PointResult(vcc_mv=vcc, scheme=scheme.value, point=point,
+                       results=results)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty_is_one(self):
+        assert geometric_mean([]) == 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestPointResult:
+    def test_aggregate_ipc(self):
+        point = make_point(500.0, ClockScheme.BASELINE, [1000, 3000])
+        assert point.ipc == pytest.approx(2000 / 4000)
+
+    def test_execution_time_uses_frequency(self):
+        point = make_point(500.0, ClockScheme.BASELINE, [1000])
+        expected = 1000 / (point.point.frequency_mhz * 1e6)
+        assert point.execution_time_s == pytest.approx(expected)
+
+
+class TestSpeedup:
+    def test_frequency_only_speedup(self):
+        base = make_point(500.0, ClockScheme.BASELINE, [1000, 1000])
+        iraw = make_point(500.0, ClockScheme.IRAW, [1000, 1000])
+        gain = speedup(base, iraw)
+        expected = (iraw.point.frequency_mhz / base.point.frequency_mhz)
+        assert gain == pytest.approx(expected)
+
+    def test_ipc_loss_reduces_speedup(self):
+        base = make_point(500.0, ClockScheme.BASELINE, [1000])
+        slow_iraw = make_point(500.0, ClockScheme.IRAW, [1200])
+        gain = speedup(base, slow_iraw)
+        ratio = slow_iraw.point.frequency_mhz / base.point.frequency_mhz
+        assert gain == pytest.approx(ratio * 1000 / 1200)
+
+    def test_total_time_mode(self):
+        base = make_point(500.0, ClockScheme.BASELINE, [1000, 3000])
+        iraw = make_point(500.0, ClockScheme.IRAW, [1000, 3000])
+        assert speedup(base, iraw, per_trace_geomean=False) > 1.0
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(0.1234) == "0.1234"
+        assert format_value(12.3) == "12.30"
+        assert format_value(1234.0) == "1234"
+        assert format_value("x") == "x"
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "long-value"}, {"a": 22, "b": "x"}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+        assert len(set(len(line) for line in lines[2:])) <= 2
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="t")
+
+    def test_percent(self):
+        assert percent(0.4812) == "48.1%"
+        assert percent(0.4812, digits=2) == "48.12%"
+
+
+class TestResultSerialization:
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        from repro.core.config import IrawConfig
+        from repro.pipeline.core import simulate
+        from repro.workloads.kernels import kernel_trace
+
+        trace, _ = kernel_trace("fib", 12)
+        result = simulate(trace, IrawConfig(stabilization_cycles=1))
+        payload = result.to_dict()
+        text = json.dumps(payload)
+        restored = json.loads(text)
+        assert restored["instructions"] == len(trace)
+        assert restored["iraw_violations"] == 0
+        assert restored["ipc"] == pytest.approx(result.ipc)
+        assert "stall_breakdown" in restored

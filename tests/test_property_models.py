@@ -1,0 +1,87 @@
+"""Property-based tests over the circuit-level models (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.energy import EnergyModel
+from repro.circuits.frequency import ClockScheme, FrequencySolver
+
+vcc_values = st.floats(min_value=400.0, max_value=700.0)
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return FrequencySolver()
+
+
+class TestFrequencyProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(vcc=vcc_values)
+    def test_scheme_ordering_everywhere(self, vcc):
+        solver = FrequencySolver()
+        logic = solver.operating_point(vcc, ClockScheme.LOGIC)
+        iraw = solver.operating_point(vcc, ClockScheme.IRAW)
+        base = solver.operating_point(vcc, ClockScheme.BASELINE)
+        assert logic.frequency_mhz >= iraw.frequency_mhz - 1e-9
+        assert iraw.frequency_mhz >= base.frequency_mhz - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(low=vcc_values, high=vcc_values)
+    def test_frequency_monotone_in_vcc(self, low, high):
+        if low > high:
+            low, high = high, low
+        solver = FrequencySolver()
+        for scheme in ClockScheme:
+            f_low = solver.operating_point(low, scheme).frequency_mhz
+            f_high = solver.operating_point(high, scheme).frequency_mhz
+            assert f_low <= f_high + 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(vcc=vcc_values)
+    def test_stabilization_cycles_bounded(self, vcc):
+        solver = FrequencySolver()
+        point = solver.operating_point(vcc, ClockScheme.IRAW)
+        assert 0 <= point.stabilization_cycles <= 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(vcc=vcc_values, latency=st.floats(min_value=1.0, max_value=500.0))
+    def test_memory_cycles_positive_and_monotone(self, vcc, latency):
+        solver = FrequencySolver()
+        point = solver.operating_point(vcc, ClockScheme.IRAW)
+        cycles = point.memory_latency_cycles(latency)
+        assert cycles >= 1
+        assert point.memory_latency_cycles(latency * 2) >= cycles
+
+
+class TestEnergyProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(vcc=vcc_values, time_s=st.floats(min_value=1e-6, max_value=100.0))
+    def test_energy_components_positive(self, vcc, time_s):
+        model = EnergyModel()
+        breakdown = model.task_energy(vcc, time_s)
+        assert breakdown.dynamic_j > 0
+        assert breakdown.leakage_j > 0
+        assert 0 < breakdown.leakage_share < 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(vcc=vcc_values,
+           base_time=st.floats(min_value=0.1, max_value=10.0),
+           gain=st.floats(min_value=1.01, max_value=3.0))
+    def test_faster_is_never_worse(self, vcc, base_time, gain):
+        """At equal Vcc, finishing sooner can only reduce energy and EDP
+        (dynamic unchanged, leakage scales with time, +1% overhead)."""
+        model = EnergyModel()
+        row = model.relative_metrics(vcc, base_time, base_time / gain)
+        assert row["delay_ratio"] < 1.0
+        assert row["edp_ratio"] < row["energy_ratio"]
+        if gain > 1.1:  # +1% dynamic overhead amortized by leakage savings
+            assert row["edp_ratio"] < 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(vcc=vcc_values)
+    def test_leakage_power_monotone_downward(self, vcc):
+        """Leakage current growth dominates the Vcc factor below 600 mV."""
+        model = EnergyModel()
+        if vcc <= 575.0:
+            assert (model.leakage_power_w(vcc)
+                    > model.leakage_power_w(vcc + 25.0))

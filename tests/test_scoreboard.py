@@ -1,0 +1,144 @@
+"""Tests for the IRAW-extended scoreboard (paper Figures 6-8).
+
+The key test reproduces the paper's running example bit-for-bit: a 3-cycle
+producer with one bypass level and N=1 initializes its destination's shift
+register to ``0001011`` and blocks consumers exactly at cycle i+4.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scoreboard import Scoreboard
+from repro.errors import ConfigError, PipelineError
+
+
+def make_scoreboard(n=1, baseline_bits=5, bypass=1, max_n=2):
+    sb = Scoreboard(num_registers=8, baseline_bits=baseline_bits,
+                    bypass_levels=bypass, max_stabilization_cycles=max_n)
+    sb.configure(n)
+    return sb
+
+
+def ready_timeline(sb: Scoreboard, reg: int, horizon: int) -> list[bool]:
+    """is_ready(reg) at issue cycles i, i+1, ..., i+horizon-1."""
+    timeline = []
+    for _ in range(horizon):
+        timeline.append(sb.is_ready(reg))
+        sb.tick()
+    return timeline
+
+
+class TestPaperFigure8:
+    def test_pattern_0001011(self):
+        """The literal example of Section 4.1.2 / Figure 8."""
+        sb = make_scoreboard(n=1, baseline_bits=5, bypass=1, max_n=2)
+        sb.producer_issued(reg=3, latency=3)
+        # Physical width is 5+1+2=8; the paper's 7-bit example maps to the
+        # first 7 positions with an extra trailing '1'.
+        assert sb.pattern_string(3).startswith("0001011")
+
+    def test_readiness_windows_match_paper(self):
+        """Ready at i+3 (bypass), blocked at i+4 (bubble), ready i+5+."""
+        sb = make_scoreboard(n=1)
+        sb.producer_issued(reg=3, latency=3)
+        timeline = ready_timeline(sb, 3, 7)
+        assert timeline == [False, False, False, True, False, True, True]
+
+    def test_baseline_has_no_bubble(self):
+        """N=0 reduces to the classic 00011 delayed-wakeup pattern."""
+        sb = make_scoreboard(n=0)
+        sb.producer_issued(reg=3, latency=3)
+        assert sb.pattern_string(3).startswith("00011")
+        timeline = ready_timeline(sb, 3, 6)
+        assert timeline == [False, False, False, True, True, True]
+
+    def test_single_cycle_producer(self):
+        sb = make_scoreboard(n=1)
+        sb.producer_issued(reg=1, latency=1)
+        timeline = ready_timeline(sb, 1, 5)
+        # i: not ready, i+1: bypass, i+2: bubble, i+3+: stable.
+        assert timeline == [False, True, False, True, True]
+
+    def test_n2_has_two_bubble_cycles(self):
+        sb = make_scoreboard(n=2)
+        sb.producer_issued(reg=1, latency=1)
+        timeline = ready_timeline(sb, 1, 6)
+        assert timeline == [False, True, False, False, True, True]
+
+
+class TestLongLatencyPath:
+    def test_long_producer_zeroes_register(self):
+        sb = make_scoreboard(n=1)
+        sb.producer_issued(reg=2, latency=20)  # beyond B-1
+        timeline = ready_timeline(sb, 2, 10)
+        assert not any(timeline)
+
+    def test_completion_event_installs_tail(self):
+        sb = make_scoreboard(n=1)
+        sb.producer_issued(reg=2, latency=20)
+        for _ in range(5):
+            sb.tick()
+        sb.long_latency_completed(2)
+        timeline = ready_timeline(sb, 2, 4)
+        # Ready now (result bus), bubble next cycle, then stable.
+        assert timeline == [True, False, True, True]
+
+    def test_completion_event_baseline(self):
+        sb = make_scoreboard(n=0)
+        sb.producer_issued(reg=2, latency=20)
+        sb.long_latency_completed(2)
+        assert all(ready_timeline(sb, 2, 4))
+
+
+class TestBookkeeping:
+    def test_idle_registers_always_ready(self):
+        sb = make_scoreboard()
+        assert sb.is_ready(0) and sb.is_idle(0)
+
+    def test_flush_clears_inflight(self):
+        sb = make_scoreboard()
+        sb.producer_issued(reg=1, latency=3)
+        sb.flush()
+        assert sb.is_ready(1) and sb.is_idle(1)
+
+    def test_reconfigure_bounds(self):
+        sb = make_scoreboard(max_n=2)
+        with pytest.raises(ConfigError):
+            sb.configure(3)
+        with pytest.raises(ConfigError):
+            sb.configure(-1)
+
+    def test_latency_must_be_positive(self):
+        sb = make_scoreboard()
+        with pytest.raises(PipelineError):
+            sb.producer_issued(reg=1, latency=0)
+
+    def test_max_encodable_latency(self):
+        sb = make_scoreboard(baseline_bits=6)
+        assert sb.max_encodable_latency == 5
+
+    def test_sizing_validation(self):
+        with pytest.raises(ConfigError):
+            Scoreboard(num_registers=0)
+        with pytest.raises(ConfigError):
+            Scoreboard(baseline_bits=1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(latency=st.integers(min_value=1, max_value=4),
+       n=st.integers(min_value=0, max_value=3),
+       bypass=st.integers(min_value=1, max_value=2))
+def test_readiness_window_property(latency, n, bypass):
+    """Property (paper Section 4.1.2): a consumer may issue at cycle c iff
+    c is in the bypass window [i+L, i+L+bypass-1] or past the bubble
+    (c >= i+L+bypass+N)."""
+    sb = Scoreboard(num_registers=4, baseline_bits=6, bypass_levels=bypass,
+                    max_stabilization_cycles=3)
+    sb.configure(n)
+    sb.producer_issued(reg=1, latency=latency)
+    horizon = latency + bypass + n + 3
+    timeline = ready_timeline(sb, 1, horizon)
+    for offset, ready in enumerate(timeline):
+        in_bypass = latency <= offset < latency + bypass
+        past_bubble = offset >= latency + bypass + n
+        assert ready == (in_bypass or past_bubble), (offset, timeline)

@@ -1,0 +1,61 @@
+"""Tests for the SRAM block inventory (repro.circuits.sram)."""
+
+import pytest
+
+from repro.circuits.sram import (
+    FIGURE1_ARRAY,
+    SramArray,
+    StructureClass,
+    silverthorne_arrays,
+)
+
+
+class TestSramArray:
+    def test_total_bits(self):
+        array = SramArray("X", 128, 32, StructureClass.INFREQUENT_WRITE)
+        assert array.total_bits == 128 * 32
+
+    def test_wordline_groups_round_up(self):
+        array = SramArray("X", 8, 30, StructureClass.INFREQUENT_WRITE,
+                          wordline_group_bits=8)
+        assert array.wordline_groups_per_entry == 4
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SramArray("X", 0, 32, StructureClass.INFREQUENT_WRITE)
+        with pytest.raises(ValueError):
+            SramArray("X", 8, -1, StructureClass.INFREQUENT_WRITE)
+
+
+class TestFigure1Array:
+    def test_matches_paper_experiment(self):
+        """Paper Sec 2.1: 1,024 entries x 32 bits, 8 bits per wordline."""
+        assert FIGURE1_ARRAY.entries == 1024
+        assert FIGURE1_ARRAY.bits_per_entry == 32
+        assert FIGURE1_ARRAY.wordline_group_bits == 8
+        assert FIGURE1_ARRAY.wordline_groups_per_entry == 4
+
+
+class TestCoreInventory:
+    def test_all_eleven_blocks_present(self):
+        names = {a.name for a in silverthorne_arrays()}
+        assert names == {"RF", "IQ", "IL0", "UL1", "ITLB", "DTLB",
+                         "WCB_EB", "FB", "DL0", "BP", "RSB"}
+
+    def test_structure_classification_matches_paper(self):
+        """Section 3.1's five-way classification."""
+        by_name = {a.name: a.structure_class for a in silverthorne_arrays()}
+        assert by_name["RF"] is StructureClass.REGISTER_FILE
+        assert by_name["IQ"] is StructureClass.INSTRUCTION_QUEUE
+        assert by_name["DL0"] is StructureClass.FREQUENT_WRITE
+        assert by_name["BP"] is StructureClass.PREDICTION_ONLY
+        assert by_name["RSB"] is StructureClass.PREDICTION_ONLY
+        for block in ("IL0", "UL1", "ITLB", "DTLB", "WCB_EB", "FB"):
+            assert by_name[block] is StructureClass.INFREQUENT_WRITE
+
+    def test_cache_capacities(self):
+        by_name = {a.name: a for a in silverthorne_arrays()}
+        line_data_bits = 64 * 8
+        assert by_name["IL0"].entries * line_data_bits == 32 * 1024 * 8
+        assert by_name["DL0"].entries * line_data_bits == 24 * 1024 * 8
+        assert by_name["UL1"].entries * line_data_bits == 512 * 1024 * 8

@@ -1,0 +1,45 @@
+"""Tests for stall accounting structures."""
+
+import pytest
+
+from repro.pipeline.stats import (
+    IRAW_STALL_REASONS,
+    StallReason,
+    StallStats,
+)
+
+
+class TestStallStats:
+    def test_all_reasons_start_at_zero(self):
+        stats = StallStats()
+        assert set(stats.cycles) == set(StallReason)
+        assert stats.total_stall_cycles == 0
+
+    def test_charge_accumulates(self):
+        stats = StallStats()
+        stats.charge(StallReason.RF_IRAW_BUBBLE)
+        stats.charge(StallReason.RF_IRAW_BUBBLE, 3)
+        assert stats.cycles[StallReason.RF_IRAW_BUBBLE] == 4
+        assert stats.total_stall_cycles == 4
+
+    def test_iraw_subset(self):
+        """Only mechanism-induced reasons count as IRAW stalls."""
+        stats = StallStats()
+        stats.charge(StallReason.RF_DEPENDENCY, 10)
+        stats.charge(StallReason.IQ_GATE, 2)
+        stats.charge(StallReason.STABLE_REPAIR, 1)
+        assert stats.iraw_stall_cycles == 3
+        assert stats.total_stall_cycles == 13
+
+    def test_iraw_reason_membership(self):
+        assert StallReason.RF_IRAW_BUBBLE in IRAW_STALL_REASONS
+        assert StallReason.DL0_FILL_GUARD in IRAW_STALL_REASONS
+        assert StallReason.RF_DEPENDENCY not in IRAW_STALL_REASONS
+        assert StallReason.FU_BUSY not in IRAW_STALL_REASONS
+        assert StallReason.WRITE_PORT not in IRAW_STALL_REASONS
+
+    def test_reason_values_are_stable(self):
+        """Report keys are part of the public API."""
+        assert StallReason.RF_IRAW_BUBBLE.value == "rf_iraw_bubble"
+        assert StallReason.IQ_GATE.value == "iq_gate"
+        assert StallReason.STABLE_REPAIR.value == "stable_repair"

@@ -1,0 +1,103 @@
+"""Tests for TLBs, fill buffers and the write-combining buffer."""
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.memory.buffers import FillBufferFile, WriteCombiningBuffer
+from repro.memory.tlb import Tlb
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb("T", entries=4)
+        assert not tlb.access(0x1234)
+        tlb.fill(0x1234)
+        assert tlb.access(0x1234)
+        assert tlb.access(0x1FFF)  # same 4 KiB page
+
+    def test_lru_eviction(self):
+        tlb = Tlb("T", entries=2)
+        tlb.fill(0x0000)
+        tlb.fill(0x1000)
+        tlb.access(0x0000)          # page 0 now MRU
+        tlb.fill(0x2000)            # evicts page 1
+        assert tlb.access(0x0000)
+        assert not tlb.access(0x1000)
+
+    def test_stats(self):
+        tlb = Tlb("T", entries=4)
+        tlb.access(0)
+        tlb.fill(0)
+        tlb.access(0)
+        assert tlb.misses == 1 and tlb.hits == 1
+        assert tlb.miss_rate == pytest.approx(0.5)
+        tlb.reset_stats()
+        assert tlb.accesses == 0
+
+    def test_validation(self):
+        with pytest.raises(MemoryModelError):
+            Tlb("T", entries=0)
+        with pytest.raises(MemoryModelError):
+            Tlb("T", page_size=3000)
+
+
+class TestFillBuffers:
+    def test_allocation_completes_after_latency(self):
+        fb = FillBufferFile("FB", entries=2)
+        done = fb.allocate(0x100, cycle=10, latency=20)
+        assert done == 30
+
+    def test_merge_same_line(self):
+        fb = FillBufferFile("FB", entries=2)
+        first = fb.allocate(0x100, cycle=10, latency=20)
+        second = fb.allocate(0x100, cycle=15, latency=20)
+        assert second == first
+        assert fb.merges == 1
+
+    def test_full_buffer_delays(self):
+        fb = FillBufferFile("FB", entries=1)
+        fb.allocate(0x000, cycle=0, latency=50)
+        done = fb.allocate(0x100, cycle=10, latency=50)
+        assert done == 100  # waits for entry to free at 50, then +50
+        assert fb.full_delays == 1
+
+    def test_entries_free_lazily(self):
+        fb = FillBufferFile("FB", entries=1)
+        fb.allocate(0x000, cycle=0, latency=10)
+        assert fb.occupancy(5) == 1
+        assert fb.occupancy(11) == 0
+
+    def test_outstanding_lookup(self):
+        fb = FillBufferFile("FB", entries=2)
+        fb.allocate(0x200, cycle=0, latency=30)
+        assert fb.outstanding(0x200, 10) == 30
+        assert fb.outstanding(0x300, 10) is None
+        assert fb.outstanding(0x200, 31) is None
+
+    def test_validation(self):
+        with pytest.raises(MemoryModelError):
+            FillBufferFile("FB", entries=0)
+
+
+class TestWriteCombiningBuffer:
+    def test_push_and_drain(self):
+        wcb = WriteCombiningBuffer(entries=2)
+        done = wcb.push(0x100, cycle=5, drain_latency=9)
+        assert done == 14
+        assert wcb.occupancy(10) == 1
+        assert wcb.occupancy(20) == 0
+
+    def test_combining_same_line(self):
+        wcb = WriteCombiningBuffer(entries=2)
+        first = wcb.push(0x100, cycle=0, drain_latency=9)
+        second = wcb.push(0x100, cycle=3, drain_latency=9)
+        assert second == first
+        assert wcb.combines == 1
+        assert wcb.pushes == 1
+
+    def test_full_buffer_delays(self):
+        wcb = WriteCombiningBuffer(entries=1)
+        wcb.push(0x000, cycle=0, drain_latency=20)
+        done = wcb.push(0x100, cycle=1, drain_latency=20)
+        assert done == 40
+        assert wcb.full_delays == 1

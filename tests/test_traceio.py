@@ -1,0 +1,88 @@
+"""Tests for trace serialization (save/load round trips)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.pipeline.core import simulate
+from repro.core.config import IrawConfig
+from repro.workloads.kernels import kernel_trace
+from repro.workloads.profiles import SPECINT_LIKE
+from repro.workloads.synthetic import SyntheticTraceGenerator
+from repro.workloads.traceio import load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_synthetic_round_trip(self, tmp_path):
+        original = SyntheticTraceGenerator(SPECINT_LIKE, seed=1).generate(800)
+        path = tmp_path / "trace.jsonl"
+        save_trace(original, path)
+        restored = load_trace(path)
+        assert restored.name == original.name
+        assert len(restored) == len(original)
+        for a, b in zip(original.ops, restored.ops):
+            assert a.opcode == b.opcode
+            assert a.dest == b.dest
+            assert a.srcs == b.srcs
+            assert a.mem_addr == b.mem_addr
+            assert a.taken == b.taken
+            assert a.target == b.target
+            assert a.pc == b.pc
+
+    def test_golden_values_survive(self, tmp_path):
+        original, _ = kernel_trace("fib", 15)
+        path = tmp_path / "fib.jsonl"
+        save_trace(original, path)
+        restored = load_trace(path)
+        assert restored.has_golden_values()
+        for a, b in zip(original.ops, restored.ops):
+            assert a.golden_result == b.golden_result
+            assert a.store_value == b.store_value
+
+    def test_restored_kernel_still_verifies(self, tmp_path):
+        """The pipeline's golden check must work on a reloaded trace."""
+        original, _ = kernel_trace("dot", 12)
+        path = tmp_path / "dot.jsonl"
+        save_trace(original, path)
+        restored = load_trace(path)
+        result = simulate(restored, IrawConfig(stabilization_cycles=1))
+        assert result.value_mismatches == 0
+        assert result.iraw_violations == 0
+
+    def test_metadata_preserved_with_int_keys(self, tmp_path):
+        original, _ = kernel_trace("matmul", 3)
+        path = tmp_path / "mm.jsonl"
+        save_trace(original, path)
+        restored = load_trace(path)
+        assert restored.metadata["initial_registers"][7] == 3
+
+
+class TestErrorHandling:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError, match="empty"):
+            load_trace(path)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(TraceError, match="header"):
+            load_trace(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "v99.jsonl"
+        path.write_text('{"format": 99, "trace": "x"}\n')
+        with pytest.raises(TraceError, match="unsupported format"):
+            load_trace(path)
+
+    def test_bad_opcode(self, tmp_path):
+        path = tmp_path / "badop.jsonl"
+        path.write_text('{"format": 1, "trace": "x"}\n{"o": "zap"}\n')
+        with pytest.raises(TraceError, match="bad opcode"):
+            load_trace(path)
+
+    def test_bad_record(self, tmp_path):
+        path = tmp_path / "badrec.jsonl"
+        path.write_text('{"format": 1, "trace": "x"}\n{{{\n')
+        with pytest.raises(TraceError, match="bad op record"):
+            load_trace(path)

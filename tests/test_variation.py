@@ -1,0 +1,54 @@
+"""Tests for the process-variation model (Faulty Bits substrate)."""
+
+import pytest
+
+from repro.circuits.constants import default_delay_model
+from repro.circuits.variation import VariationModel, gaussian_tail
+
+
+@pytest.fixture(scope="module")
+def variation():
+    return VariationModel(default_delay_model())
+
+
+class TestGaussianTail:
+    def test_known_values(self):
+        assert gaussian_tail(0.0) == pytest.approx(0.5)
+        assert gaussian_tail(4.0) == pytest.approx(3.167e-5, rel=0.01)
+        assert gaussian_tail(6.0) == pytest.approx(9.87e-10, rel=0.02)
+
+    def test_monotone(self):
+        assert gaussian_tail(3.0) > gaussian_tail(4.0) > gaussian_tail(5.0)
+
+
+class TestSigmaScaling:
+    def test_lower_sigma_means_faster_writes(self, variation):
+        """Clocking for 4-sigma cells shortens the worst-case write."""
+        base = variation.base_model
+        reduced = variation.model_at_sigma(4.0)
+        assert reduced.write(500.0) < base.write(500.0)
+
+    def test_baseline_sigma_is_identity(self, variation):
+        same = variation.model_at_sigma(6.0)
+        assert same.write(500.0) == pytest.approx(
+            variation.base_model.write(500.0))
+
+    def test_flip_path_shifts_consistently(self, variation):
+        reduced = variation.model_at_sigma(4.0)
+        assert reduced.flip(500.0) < variation.base_model.flip(500.0)
+
+
+class TestFailureProbabilities:
+    def test_cell_failure_rate(self, variation):
+        assert variation.cell_failure_probability(4.0) == pytest.approx(
+            gaussian_tail(4.0))
+
+    def test_line_failure_accumulates(self, variation):
+        p_line = variation.line_failure_probability(4.0, bits_per_line=512)
+        p_cell = variation.cell_failure_probability(4.0)
+        assert p_line > p_cell
+        assert p_line < 512 * p_cell  # union bound
+
+    def test_line_failure_needs_positive_bits(self, variation):
+        with pytest.raises(ValueError):
+            variation.line_failure_probability(4.0, bits_per_line=0)
