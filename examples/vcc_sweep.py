@@ -5,7 +5,13 @@ This is the paper's whole evaluation story in one run: cycle times,
 frequency/performance gains and energy-delay product from 700 mV down to
 400 mV on the standard six-profile workload population.
 
+The simulated grid goes through the experiment engine: ``--workers N``
+spreads the (Vcc, scheme) points across N processes, and completed points
+persist in the on-disk result cache, so a re-run (or the energy-explorer
+example on the same population) replays instantly.
+
 Run:  python examples/vcc_sweep.py [--step 50] [--length 6000]
+                                   [--workers 4] [--no-cache]
 """
 
 import argparse
@@ -18,6 +24,7 @@ from repro.analysis.figures import (
 )
 from repro.analysis.reporting import format_table
 from repro.analysis.sweep import SweepSettings, VccSweep
+from repro.engine import add_engine_arguments, runner_from_args
 
 
 def main() -> None:
@@ -26,6 +33,7 @@ def main() -> None:
                         help="Vcc step in mV (default 50)")
     parser.add_argument("--length", type=int, default=6000,
                         help="instructions per trace (default 6000)")
+    add_engine_arguments(parser)
     args = parser.parse_args()
 
     print(format_table(
@@ -37,7 +45,8 @@ def main() -> None:
         title="Figure 11(a): cycle time (normalized to 24 FO4 @700mV)"))
     print()
 
-    sweep = VccSweep(SweepSettings(trace_length=args.length))
+    runner = runner_from_args(args)
+    sweep = VccSweep(SweepSettings(trace_length=args.length), runner=runner)
     print("Simulating the workload population at each Vcc "
           "(this is the slow part)...")
     print()
@@ -52,6 +61,11 @@ def main() -> None:
         figure12_series(sweep, step_mv=args.step),
         title="Figure 12: relative energy / delay / EDP "
               "(paper: EDP 0.61 @500mV, 0.33 @400mV)"))
+
+    stats = sweep.stats
+    print(f"\nengine: {stats.simulated} points simulated, "
+          f"{stats.memory_hits} memo hits, {stats.disk_hits} cache hits "
+          f"({runner.workers} worker{'s' if runner.workers != 1 else ''})")
 
 
 if __name__ == "__main__":

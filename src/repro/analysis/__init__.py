@@ -1,6 +1,13 @@
 """Evaluation harness: sweeps, metrics, figure/table regeneration."""
 
-from repro.analysis.dvfs import DvfsOutcome, DvfsPhase, DvfsScenario
+from repro.analysis.dvfs import (
+    DvfsOutcome,
+    DvfsPhase,
+    DvfsScenario,
+    ScheduleSpec,
+    compare_schemes,
+    evaluate_schedules,
+)
 from repro.analysis.figures import (
     calibrated_energy_model,
     energy_example_450,
@@ -21,6 +28,9 @@ __all__ = [
     "DvfsPhase",
     "DvfsScenario",
     "PointResult",
+    "ScheduleSpec",
+    "compare_schemes",
+    "evaluate_schedules",
     "calibrated_energy_model",
     "SweepSettings",
     "VccSweep",

@@ -11,6 +11,13 @@ and execution resumes at the new frequency.
 Each phase is simulated at its own operating point (memory latency in
 cycles changes with frequency); phase wall-clock times, energies and the
 transition overheads are accumulated.
+
+One scenario is inherently serial — the reprogrammed policy state carries
+across phases — but *grids* of scenarios (schemes x schedules x traces)
+are independent, so :func:`evaluate_schedules` and
+:func:`compare_schemes` express them as declarative ``dvfs-schedule``
+jobs and submit the whole batch through the experiment engine, where
+they parallelize and persist in the result cache.
 """
 
 from __future__ import annotations
@@ -21,6 +28,8 @@ from repro.circuits.energy import EnergyModel
 from repro.circuits.frequency import ClockScheme, FrequencySolver
 from repro.core.controller import VccController
 from repro.core.policy import IrawPolicy
+from repro.engine.jobs import Job, TraceSpec
+from repro.engine.runner import ParallelRunner
 from repro.errors import ConfigError
 from repro.memory.hierarchy import MemoryConfig
 from repro.analysis.sweep import warm_caches
@@ -175,3 +184,69 @@ def _reindex(op, new_index: int):
         setattr(clone, slot, getattr(op, slot))
     clone.index = new_index
     return clone
+
+
+# ----------------------------------------------------------------------
+# Engine-backed schedule batches
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """One engine-submittable DVFS evaluation: a trace through phases."""
+
+    trace: TraceSpec
+    phases: tuple[DvfsPhase, ...]
+    scheme: ClockScheme = ClockScheme.IRAW
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigError("schedule needs at least one phase")
+
+
+def schedule_job(spec: ScheduleSpec,
+                 solver: FrequencySolver | None = None,
+                 params: PipelineParams | None = None,
+                 memory: MemoryConfig | None = None,
+                 dram_latency_ns: float = 80.0,
+                 transition_ns: float = DEFAULT_TRANSITION_NS,
+                 warm: bool = True) -> Job:
+    """Fold one :class:`ScheduleSpec` into a declarative engine job."""
+    solver = solver or FrequencySolver()
+    options = [
+        ("phases", tuple(spec.phases)),
+        ("params", params or PipelineParams()),
+        ("memory", memory or MemoryConfig()),
+        ("dram_latency_ns", dram_latency_ns),
+        ("transition_ns", transition_ns),
+        ("warm", warm),
+        ("delay_model", solver.delay_model),
+        ("nominal_frequency_mhz", solver.nominal_frequency_mhz),
+    ]
+    return Job(kind="dvfs-schedule", scheme=spec.scheme.value,
+               trace=spec.trace, options=tuple(options))
+
+
+def evaluate_schedules(specs, runner: ParallelRunner | None = None,
+                       **scenario_knobs) -> list[DvfsOutcome]:
+    """Run a batch of DVFS scenarios through the engine.
+
+    ``scenario_knobs`` are forwarded to :func:`schedule_job` (solver,
+    params, memory, latencies, warmup).  Results come back in spec
+    order; with a parallel runner the scenarios run concurrently.
+    """
+    runner = runner or ParallelRunner()
+    jobs = [schedule_job(spec, **scenario_knobs) for spec in specs]
+    return runner.run(jobs, label="dvfs-schedules")
+
+
+def compare_schemes(trace: TraceSpec, phases,
+                    runner: ParallelRunner | None = None,
+                    schemes=(ClockScheme.BASELINE, ClockScheme.IRAW),
+                    **scenario_knobs) -> dict[str, DvfsOutcome]:
+    """The same schedule under several clock schemes, as one batch."""
+    phases = tuple(phases)
+    specs = [ScheduleSpec(trace=trace, phases=phases, scheme=scheme)
+             for scheme in schemes]
+    outcomes = evaluate_schedules(specs, runner=runner, **scenario_knobs)
+    return {scheme.value: outcome
+            for scheme, outcome in zip(schemes, outcomes)}

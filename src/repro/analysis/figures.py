@@ -3,6 +3,11 @@
 Each function returns the data rows of one paper artifact; the benchmarks
 print them and assert the qualitative shape (who wins, where crossovers
 fall).  See DESIGN.md's experiment index for the mapping.
+
+The simulated figures (11b, 12) prefetch their whole (Vcc x scheme) grid
+through the sweep's engine in one batch before assembling rows, so a
+``ParallelRunner(workers=N)`` spreads the grid across N processes and a
+warm result cache regenerates figures without any simulation at all.
 """
 
 from __future__ import annotations
@@ -33,7 +38,9 @@ def figure11a_series(solver: FrequencySolver | None = None,
 def figure11b_series(sweep: VccSweep,
                      step_mv: float = 25.0) -> list[dict[str, float]]:
     """Figure 11(b): frequency increase and performance gain vs Vcc."""
-    return [sweep.compare(vcc) for vcc in voltage_grid(step_mv)]
+    grid = voltage_grid(step_mv)
+    sweep.prefetch_grid(grid, label="figure11b")
+    return [sweep.compare(vcc) for vcc in grid]
 
 
 def calibrated_energy_model(sweep: VccSweep) -> EnergyModel:
@@ -48,9 +55,11 @@ def calibrated_energy_model(sweep: VccSweep) -> EnergyModel:
 def figure12_series(sweep: VccSweep, energy: EnergyModel | None = None,
                     step_mv: float = 25.0) -> list[dict[str, float]]:
     """Figure 12: IRAW energy/delay/EDP relative to the baseline vs Vcc."""
+    grid = voltage_grid(step_mv)
+    sweep.prefetch_grid(grid, label="figure12")
     energy = energy or calibrated_energy_model(sweep)
     rows = []
-    for vcc in voltage_grid(step_mv):
+    for vcc in grid:
         baseline_time, iraw_time = sweep.execution_times(vcc)
         rows.append(energy.relative_metrics(vcc, baseline_time, iraw_time))
     return rows
@@ -60,9 +69,9 @@ def energy_example_450(sweep: VccSweep,
                        energy: EnergyModel | None = None) -> dict[str, dict]:
     """The paper's Section 5.3 joule-accounting example at 450 mV."""
     energy = energy or calibrated_energy_model(sweep)
-    unconstrained = sweep.run_point(450.0, ClockScheme.LOGIC)
-    baseline = sweep.run_point(450.0, ClockScheme.BASELINE)
-    iraw = sweep.run_point(450.0, ClockScheme.IRAW)
+    unconstrained, baseline, iraw = sweep.run_points(
+        [(450.0, ClockScheme.LOGIC), (450.0, ClockScheme.BASELINE),
+         (450.0, ClockScheme.IRAW)], label="energy-example@450mV")
     breakdowns = paper_450mv_example(
         energy,
         unconstrained_time_s=unconstrained.execution_time_s,

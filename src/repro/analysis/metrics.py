@@ -32,6 +32,9 @@ class PointResult:
     scheme: str
     point: OperatingPoint
     results: tuple[SimulationResult, ...]
+    #: Executor-specific side reports as sorted ``(name, value)`` pairs
+    #: (e.g. Faulty Bits' disabled-line fractions per cache).
+    extras: tuple = ()
 
     @property
     def instructions(self) -> int:

@@ -3,8 +3,15 @@
 A :class:`VccSweep` owns a trace population and runs it at any (Vcc,
 scheme) evaluation point: the circuit model supplies frequency and N, the
 pipeline supplies IPC, and both combine into speedups, execution times and
-energy.  Results are cached per point, so the figure generators can share
-runs.
+energy.
+
+Since the engine refactor every evaluation point is a declarative
+:class:`~repro.engine.jobs.Job` resolved through a
+:class:`~repro.engine.runner.ParallelRunner`: points already produced by
+this sweep (or found in the runner's on-disk cache) are never
+re-simulated, batches submitted via :meth:`VccSweep.run_points` spread
+across worker processes, and the default serial runner is bit-identical
+to the legacy inline loop.
 
 Cache warmup: the paper's 10 M-instruction traces amortize cold misses;
 our traces are shorter, so the harness replays each trace's code and data
@@ -14,44 +21,20 @@ contents survive, statistics and transient buffers reset).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.circuits import constants
 from repro.circuits.frequency import ClockScheme, FrequencySolver
-from repro.core.config import IrawConfig
-from repro.memory.hierarchy import MemoryConfig, MemorySystem
+from repro.engine.executors import population_for, warm_caches
+from repro.engine.jobs import Job, TracePopulationSpec
+from repro.engine.runner import ParallelRunner
 from repro.analysis.metrics import PointResult, speedup
-from repro.pipeline.core import CoreSetup, InOrderCore
+from repro.memory.hierarchy import MemoryConfig
 from repro.pipeline.resources import PipelineParams
 from repro.workloads.profiles import STANDARD_PROFILES
-from repro.workloads.synthetic import generate_population
 from repro.workloads.trace import Trace
 
-
-def warm_caches(memory: MemorySystem, trace: Trace) -> None:
-    """Replay a trace's addresses through the hierarchy, then reset stats."""
-    il0, dl0, ul1 = memory.il0, memory.dl0, memory.ul1
-    itlb, dtlb = memory.itlb, memory.dtlb
-    last_line = -1
-    for op in trace.ops:
-        line = op.pc >> 6
-        if line != last_line:
-            last_line = line
-            if not itlb.access(op.pc):
-                itlb.fill(op.pc)
-            if not il0.access(op.pc).hit:
-                il0.fill(op.pc)
-                if not ul1.access(op.pc).hit:
-                    ul1.fill(op.pc)
-        address = op.mem_addr
-        if address is not None:
-            if not dtlb.access(address):
-                dtlb.fill(address)
-            if not dl0.access(address, is_write=op.is_store).hit:
-                dl0.fill(address, dirty=op.is_store)
-                if not ul1.access(address).hit:
-                    ul1.fill(address)
-    memory.reset_after_warmup()
+__all__ = ["SweepSettings", "VccSweep", "warm_caches"]
 
 
 @dataclass(frozen=True)
@@ -66,26 +49,80 @@ class SweepSettings:
     params: PipelineParams = field(default_factory=PipelineParams)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
 
+    def population(self) -> TracePopulationSpec:
+        """The deterministic trace-population key of these settings."""
+        return TracePopulationSpec(
+            profiles=tuple(self.profiles),
+            seeds_per_profile=self.seeds_per_profile,
+            trace_length=self.trace_length,
+        )
+
 
 class VccSweep:
-    """Runs the trace population across Vcc levels and clock schemes."""
+    """Runs the trace population across Vcc levels and clock schemes.
+
+    Parameters
+    ----------
+    settings:
+        Population and fidelity knobs.
+    solver:
+        Frequency solver; its delay model becomes part of every job key.
+    runner:
+        The execution engine.  Defaults to a serial in-memory runner
+        (``workers=1``, no disk cache) — hermetic and bit-identical to
+        the pre-engine harness.  Pass
+        ``ParallelRunner(workers=N, cache=ResultCache.default())`` for
+        parallel, persistent sweeps.
+    """
 
     def __init__(self, settings: SweepSettings | None = None,
-                 solver: FrequencySolver | None = None):
+                 solver: FrequencySolver | None = None,
+                 runner: ParallelRunner | None = None):
         self.settings = settings or SweepSettings()
         self.solver = solver or FrequencySolver()
-        self._traces: list[Trace] | None = None
-        self._cache: dict[tuple, PointResult] = {}
+        self.runner = runner or ParallelRunner()
+        self._population = self.settings.population()
+
+    @property
+    def population(self) -> TracePopulationSpec:
+        return self._population
 
     @property
     def traces(self) -> list[Trace]:
-        if self._traces is None:
-            self._traces = generate_population(
-                self.settings.profiles,
-                self.settings.seeds_per_profile,
-                self.settings.trace_length,
-            )
-        return self._traces
+        """The generated population (shared, per-process memoized)."""
+        return population_for(self._population)
+
+    @property
+    def stats(self):
+        """Engine counters (simulations, memo/disk hits) for this sweep."""
+        return self.runner.stats
+
+    # ------------------------------------------------------------------
+    # Job construction
+    # ------------------------------------------------------------------
+
+    def point_options(self) -> tuple:
+        """Kind-independent job options shared by this sweep's points."""
+        return (
+            ("warm", self.settings.warm),
+            ("dram_latency_ns", self.settings.dram_latency_ns),
+            ("params", self.settings.params),
+            ("memory", self.settings.memory),
+            ("delay_model", self.solver.delay_model),
+            ("nominal_frequency_mhz", self.solver.nominal_frequency_mhz),
+        )
+
+    def job_for(self, vcc_mv: float, scheme: ClockScheme,
+                **iraw_overrides) -> Job:
+        """The declarative job of one (Vcc, scheme) evaluation point."""
+        return Job(
+            kind="sweep-point",
+            vcc_mv=vcc_mv,
+            scheme=scheme.value,
+            population=self._population,
+            iraw_overrides=tuple(sorted(iraw_overrides.items())),
+            options=self.point_options(),
+        )
 
     # ------------------------------------------------------------------
     # Point evaluation
@@ -93,33 +130,27 @@ class VccSweep:
 
     def run_point(self, vcc_mv: float, scheme: ClockScheme,
                   **iraw_overrides) -> PointResult:
-        """Simulate the population at one (Vcc, scheme) point (cached)."""
-        key = (vcc_mv, scheme.value, tuple(sorted(iraw_overrides.items())))
-        if key in self._cache:
-            return self._cache[key]
-        point = self.solver.operating_point(vcc_mv, scheme)
-        if scheme is ClockScheme.IRAW:
-            iraw = IrawConfig.for_operating_point(point, **iraw_overrides)
-        else:
-            iraw = IrawConfig.disabled()
-        dram_cycles = point.memory_latency_cycles(
-            self.settings.dram_latency_ns)
-        memory = replace(self.settings.memory,
-                         dram_latency_cycles=dram_cycles)
-        results = []
-        for trace in self.traces:
-            setup = CoreSetup(iraw=iraw, params=self.settings.params,
-                              memory=memory,
-                              name=f"{scheme.value}@{vcc_mv:g}mV",
-                              check_values=False)
-            core = InOrderCore(setup)
-            if self.settings.warm:
-                warm_caches(core.memory, trace)
-            results.append(core.run(trace))
-        outcome = PointResult(vcc_mv=vcc_mv, scheme=scheme.value,
-                              point=point, results=tuple(results))
-        self._cache[key] = outcome
-        return outcome
+        """Simulate the population at one (Vcc, scheme) point (memoized)."""
+        return self.runner.run_one(self.job_for(vcc_mv, scheme,
+                                                **iraw_overrides))
+
+    def run_points(self, points, label: str = "sweep") -> list[PointResult]:
+        """Resolve a batch of ``(vcc_mv, scheme)`` pairs through the engine.
+
+        This is the parallel entry point: all not-yet-known points run
+        concurrently across the runner's workers, and every result is
+        memoized so later :meth:`run_point`/:meth:`compare` calls on the
+        same coordinates are free.
+        """
+        jobs = [self.job_for(vcc_mv, scheme) for vcc_mv, scheme in points]
+        return self.runner.run(jobs, label=label)
+
+    def prefetch_grid(self, vcc_levels,
+                      schemes=(ClockScheme.BASELINE, ClockScheme.IRAW),
+                      label: str = "grid") -> None:
+        """Warm the runner's memo for a whole (Vcc x scheme) grid."""
+        self.run_points([(vcc, scheme) for vcc in vcc_levels
+                         for scheme in schemes], label=label)
 
     # ------------------------------------------------------------------
     # Headline comparisons
@@ -127,8 +158,9 @@ class VccSweep:
 
     def compare(self, vcc_mv: float) -> dict[str, float]:
         """Frequency gain and performance gain at one Vcc (Figure 11b)."""
-        base = self.run_point(vcc_mv, ClockScheme.BASELINE)
-        iraw = self.run_point(vcc_mv, ClockScheme.IRAW)
+        base, iraw = self.run_points(
+            [(vcc_mv, ClockScheme.BASELINE), (vcc_mv, ClockScheme.IRAW)],
+            label=f"compare@{vcc_mv:g}mV")
         frequency_gain = (iraw.point.frequency_mhz
                           / base.point.frequency_mhz - 1.0)
         performance_gain = speedup(base, iraw) - 1.0
@@ -143,8 +175,9 @@ class VccSweep:
 
     def execution_times(self, vcc_mv: float) -> tuple[float, float]:
         """(baseline, IRAW) execution times in seconds (Figure 12 input)."""
-        base = self.run_point(vcc_mv, ClockScheme.BASELINE)
-        iraw = self.run_point(vcc_mv, ClockScheme.IRAW)
+        base, iraw = self.run_points(
+            [(vcc_mv, ClockScheme.BASELINE), (vcc_mv, ClockScheme.IRAW)],
+            label=f"times@{vcc_mv:g}mV")
         return base.execution_time_s, iraw.execution_time_s
 
     # ------------------------------------------------------------------
@@ -157,19 +190,21 @@ class VccSweep:
         Runs the IRAW point with all mechanisms, then with each mechanism's
         *stalls* disabled in turn (a timing-only what-if; correctness
         violations are counted but ignored), mirroring how the paper
-        attributes its 8.86% drop at 575 mV.
+        attributes its 8.86% drop at 575 mV.  The five ablation points are
+        submitted as one engine batch, so they parallelize.
         """
-        full = self.run_point(vcc_mv, ClockScheme.IRAW)
-        no_stalls = self.run_point(vcc_mv, ClockScheme.IRAW,
-                                   rf_enabled=False, iq_enabled=False,
-                                   cache_guards_enabled=False,
-                                   stable_enabled=False)
-        no_rf = self.run_point(vcc_mv, ClockScheme.IRAW, rf_enabled=False)
-        no_dl0 = self.run_point(vcc_mv, ClockScheme.IRAW,
-                                stable_enabled=False)
-        no_rest = self.run_point(vcc_mv, ClockScheme.IRAW,
-                                 iq_enabled=False,
-                                 cache_guards_enabled=False)
+        jobs = [
+            self.job_for(vcc_mv, ClockScheme.IRAW),
+            self.job_for(vcc_mv, ClockScheme.IRAW,
+                         rf_enabled=False, iq_enabled=False,
+                         cache_guards_enabled=False, stable_enabled=False),
+            self.job_for(vcc_mv, ClockScheme.IRAW, rf_enabled=False),
+            self.job_for(vcc_mv, ClockScheme.IRAW, stable_enabled=False),
+            self.job_for(vcc_mv, ClockScheme.IRAW,
+                         iq_enabled=False, cache_guards_enabled=False),
+        ]
+        full, no_stalls, no_rf, no_dl0, no_rest = self.runner.run(
+            jobs, label=f"stall-decomposition@{vcc_mv:g}mV")
 
         def drop(reference: PointResult, withheld: PointResult) -> float:
             return 1.0 - withheld.ipc / reference.ipc

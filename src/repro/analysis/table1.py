@@ -5,71 +5,58 @@ it with numbers: each technique is evaluated at one Vcc on the same trace
 population, reporting its honest core-level frequency gain (respecting the
 blocks it cannot cover), its hypothetical ceiling, its measured IPC impact
 and its hardware overhead.
+
+All four population runs (baseline, IRAW, Faulty Bits, Extra Bypass) are
+declarative engine jobs submitted as **one batch** through the sweep's
+runner, so they parallelize across workers and persist in the result
+cache like any other evaluation point.
 """
 
 from __future__ import annotations
-
-from dataclasses import replace
 
 from repro.baselines.extra_bypass import ExtraBypassBaseline
 from repro.baselines.faulty_bits import FaultyBitsBaseline
 from repro.baselines.freq_scaling import FrequencyScalingBaseline
 from repro.circuits.area import AreaModel
 from repro.circuits.frequency import ClockScheme
+from repro.engine.jobs import Job
 from repro.analysis.metrics import PointResult
-from repro.analysis.sweep import VccSweep, warm_caches
-from repro.pipeline.core import CoreSetup, InOrderCore
+from repro.analysis.sweep import VccSweep
 
 
-def _run_population(sweep: VccSweep, setup: CoreSetup, point,
-                    scheme_name: str, memory_mutator=None) -> PointResult:
-    """Run the sweep's population under a custom core setup."""
-    dram_cycles = point.memory_latency_cycles(
-        sweep.settings.dram_latency_ns)
-    memory = replace(sweep.settings.memory,
-                     dram_latency_cycles=dram_cycles)
-    results = []
-    for trace in sweep.traces:
-        core = InOrderCore(replace(setup, memory=memory,
-                                   params=setup.params))
-        if memory_mutator is not None:
-            memory_mutator(core.memory)
-        if sweep.settings.warm:
-            warm_caches(core.memory, trace)
-        results.append(core.run(trace))
-    return PointResult(vcc_mv=point.vcc_mv, scheme=scheme_name,
-                       point=point, results=tuple(results))
+def table1_jobs(sweep: VccSweep, vcc_mv: float) -> list[Job]:
+    """The four population evaluations behind Table 1, as engine jobs."""
+    options = sweep.point_options()
+    return [
+        sweep.job_for(vcc_mv, ClockScheme.BASELINE),
+        sweep.job_for(vcc_mv, ClockScheme.IRAW),
+        Job(kind="faulty-bits", vcc_mv=vcc_mv, scheme="faulty-bits",
+            population=sweep.population, options=options),
+        Job(kind="extra-bypass", vcc_mv=vcc_mv, scheme="extra-bypass",
+            population=sweep.population,
+            options=options + (("hypothetical_rf_only", True),)),
+    ]
 
 
 def build_table1(sweep: VccSweep, vcc_mv: float = 500.0) -> list[dict]:
     """Evaluate IRAW and both state-of-the-art alternatives at ``vcc_mv``."""
     solver = sweep.solver
-    baseline = sweep.run_point(vcc_mv, ClockScheme.BASELINE)
-    iraw = sweep.run_point(vcc_mv, ClockScheme.IRAW)
+    baseline, iraw, faulty_result, bypass_result = sweep.runner.run(
+        table1_jobs(sweep, vcc_mv), label=f"table1@{vcc_mv:g}mV")
 
     freq_scaling = FrequencyScalingBaseline(solver)
     faulty = FaultyBitsBaseline(solver)
     bypass = ExtraBypassBaseline(solver)
 
-    # Faulty Bits: honest clock (register-file bound) + degraded caches.
-    faulty_point = faulty.operating_point(vcc_mv)
-    disabled_report: dict[str, float] = {}
-
-    def degrade(memory) -> None:
-        disabled_report.update(faulty.apply_to_memory(memory))
-
-    faulty_result = _run_population(sweep, faulty.core_setup(vcc_mv),
-                                    faulty_point, "faulty-bits",
-                                    memory_mutator=degrade)
+    # Faulty Bits: honest clock (register-file bound) + degraded caches;
+    # the executor reports the disabled-line fractions via ``extras``.
+    disabled_report = dict(faulty_result.extras)
     faulty_hypothetical = faulty.operating_point(
         vcc_mv, hypothetical_all_blocks=True)
 
     # Extra Bypass: hypothetical RF-only variant at the logic clock with
     # multi-cycle write-port contention.
-    bypass_point = bypass.operating_point(vcc_mv, hypothetical_rf_only=True)
-    bypass_result = _run_population(
-        sweep, bypass.core_setup(vcc_mv, hypothetical_rf_only=True),
-        bypass_point, "extra-bypass")
+    bypass_point = bypass_result.point
 
     def gain(point) -> float:
         return point.frequency_mhz / baseline.point.frequency_mhz - 1.0
@@ -93,7 +80,7 @@ def build_table1(sweep: VccSweep, vcc_mv: float = 500.0) -> list[dict]:
             "technique": "Faulty Bits [1,22,26]",
             "works_all_blocks": False,
             "adapts_multiple_vcc": "costly",
-            "honest_freq_gain": gain(faulty_point),
+            "honest_freq_gain": gain(faulty_result.point),
             "hypothetical_freq_gain": gain(faulty_hypothetical),
             "ipc_impact": ipc_impact(faulty_result),
             "area_overhead": faulty.area_overhead(),

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.circuits import constants
 from repro.circuits.ekv import check_voltage
 
 #: Calibration voltage for the leakage share (paper Section 5.1).

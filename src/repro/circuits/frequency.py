@@ -99,6 +99,11 @@ class FrequencySolver:
     def delay_model(self) -> DelayModel:
         return self._delays
 
+    @property
+    def nominal_frequency_mhz(self) -> float:
+        """The 700 mV logic-scheme frequency the model is normalized to."""
+        return self._nominal_mhz
+
     # ------------------------------------------------------------------
     # Phase-delay resolution per scheme
     # ------------------------------------------------------------------

@@ -8,6 +8,13 @@ Subcommands
 ``trace``     generate a synthetic trace and save it to a file
 ``kernels``   list the built-in kernels
 ``calibrate`` re-run the circuit-model fit and report the anchors
+``cache``     inspect or clear the on-disk result cache
+
+The simulation-backed subcommands (``figures``, ``compare``) run their
+evaluation points through the experiment engine: ``--workers N`` spreads
+the grid across N processes (``0`` = one per CPU) and completed points
+persist in the on-disk result cache (``$REPRO_CACHE_DIR`` or
+``~/.cache/repro``) unless ``--no-cache`` is given.
 """
 
 from __future__ import annotations
@@ -25,12 +32,25 @@ from repro.analysis.reporting import format_table
 from repro.analysis.sweep import SweepSettings, VccSweep, warm_caches
 from repro.circuits.frequency import ClockScheme, FrequencySolver
 from repro.core.config import IrawConfig
+from repro.engine import (
+    ParallelRunner,
+    ResultCache,
+    TextProgress,
+    add_engine_arguments,
+    runner_from_args,
+)
 from repro.memory.hierarchy import MemoryConfig
 from repro.pipeline.core import CoreSetup, InOrderCore
 from repro.workloads.kernels import KERNEL_BUILDERS, kernel_trace
 from repro.workloads.profiles import PROFILES_BY_NAME
 from repro.workloads.synthetic import SyntheticTraceGenerator
 from repro.workloads.traceio import load_trace, save_trace
+
+
+def _build_runner(args) -> ParallelRunner:
+    """The engine configuration requested on the command line."""
+    progress = TextProgress() if sys.stderr.isatty() else None
+    return runner_from_args(args, progress=progress)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -48,11 +68,13 @@ def _build_parser() -> argparse.ArgumentParser:
                               "includes the simulated figures")
     figures.add_argument("--step", type=float, default=25.0)
     figures.add_argument("--length", type=int, default=6000)
+    add_engine_arguments(figures)
 
     compare = sub.add_parser("compare", help="baseline vs IRAW at Vcc levels")
     compare.add_argument("--vcc", type=float, nargs="+",
                          default=[575.0, 500.0, 450.0, 400.0])
     compare.add_argument("--length", type=int, default=6000)
+    add_engine_arguments(compare)
 
     simulate = sub.add_parser("simulate", help="run one workload")
     source = simulate.add_mutually_exclusive_group(required=True)
@@ -79,6 +101,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("kernels", help="list built-in kernels")
     sub.add_parser("calibrate", help="re-fit the circuit model")
+
+    cache = sub.add_parser("cache", help="inspect/clear the result cache")
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every entry of the current code version")
+    cache.add_argument("--prune", action="store_true",
+                       help="delete entries from stale code versions")
     return parser
 
 
@@ -93,7 +121,8 @@ def _cmd_figures(args) -> int:
                            title="Figure 11(a)"))
         print()
     if wanted in ("fig11b", "fig12", "all"):
-        sweep = VccSweep(SweepSettings(trace_length=args.length))
+        sweep = VccSweep(SweepSettings(trace_length=args.length),
+                         runner=_build_runner(args))
         if wanted in ("fig11b", "all"):
             print(format_table(figure11b_series(sweep, step_mv=args.step),
                                title="Figure 11(b)"))
@@ -105,7 +134,9 @@ def _cmd_figures(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    sweep = VccSweep(SweepSettings(trace_length=args.length))
+    sweep = VccSweep(SweepSettings(trace_length=args.length),
+                     runner=_build_runner(args))
+    sweep.prefetch_grid(args.vcc, label="compare")
     rows = [sweep.compare(vcc) for vcc in args.vcc]
     print(format_table(rows, title="IRAW vs baseline"))
     return 0
@@ -179,6 +210,20 @@ def _cmd_calibrate() -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    cache = ResultCache.default()
+    if args.prune:
+        removed = cache.prune_stale()
+        print(f"pruned {removed} entries from stale code versions")
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} entries")
+    print(f"cache root:    {cache.root}")
+    print(f"code version:  {cache.version_dir.name}")
+    print(f"entries:       {cache.entry_count()}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "figures":
@@ -193,6 +238,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_kernels()
     if args.command == "calibrate":
         return _cmd_calibrate()
+    if args.command == "cache":
+        return _cmd_cache(args)
     return 1  # pragma: no cover
 
 

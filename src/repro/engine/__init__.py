@@ -1,0 +1,59 @@
+"""Experiment-orchestration engine.
+
+The paper's headline artifacts (Table 1, Figures 11a/11b/12) are grids of
+independent (Vcc, scheme, trace-population) evaluation points.  This
+package turns each point into a declarative :class:`~repro.engine.jobs.Job`
+and executes batches of them through a
+:class:`~repro.engine.runner.ParallelRunner`:
+
+* **Jobs** (:mod:`repro.engine.jobs`) are frozen, picklable descriptions of
+  one evaluation — config, trace-population key and evaluation point.
+  Identical jobs have identical canonical keys, which drive both the
+  in-memory memo and the on-disk cache.
+* **Execution** (:mod:`repro.engine.executors`) maps a job kind to the
+  function that simulates it.  The same function runs in-process
+  (``workers=1``, the bit-identical serial fallback) or inside a
+  ``ProcessPoolExecutor`` worker.
+* **Caching** (:mod:`repro.engine.cache`) memoizes completed results in a
+  content-addressed on-disk store (``$REPRO_CACHE_DIR`` or
+  ``~/.cache/repro``) keyed by the job's canonical key under a fingerprint
+  of the package source, so any code change invalidates stale results.
+* **Progress** (:mod:`repro.engine.progress`) reports batch progress
+  without coupling the runner to a UI.
+
+Typical use::
+
+    from repro.engine import Job, ParallelRunner, ResultCache
+
+    runner = ParallelRunner(workers=4, cache=ResultCache.default())
+    results = runner.run(jobs)          # order-preserving, deduplicated
+    print(runner.stats)                 # hits / misses / simulations
+"""
+
+from repro.engine.cache import ResultCache
+from repro.engine.cli import add_engine_arguments, build_runner, \
+    runner_from_args
+from repro.engine.jobs import (
+    Job,
+    TracePopulationSpec,
+    TraceSpec,
+    job_key,
+)
+from repro.engine.progress import NullProgress, TextProgress
+from repro.engine.runner import EngineError, EngineStats, ParallelRunner
+
+__all__ = [
+    "EngineError",
+    "EngineStats",
+    "Job",
+    "NullProgress",
+    "ParallelRunner",
+    "ResultCache",
+    "TextProgress",
+    "TracePopulationSpec",
+    "TraceSpec",
+    "add_engine_arguments",
+    "build_runner",
+    "job_key",
+    "runner_from_args",
+]

@@ -1,0 +1,213 @@
+"""Content-addressed on-disk result cache with versioned invalidation.
+
+Completed job results are pickled under one file per canonical job key
+(:func:`repro.engine.jobs.job_key`), inside a version directory named
+after (a) the cache schema version and (b) a fingerprint of the whole
+``repro`` package source.  Any code change — a constant recalibration, a
+pipeline fix — moves the fingerprint, so stale results can never be
+served; they are simply orphaned in the old version directory (reclaim
+with :meth:`ResultCache.prune_stale` or ``python -m repro cache --clear``).
+
+The cache root is ``$REPRO_CACHE_DIR`` if set, else
+``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``.  All filesystem
+failures degrade gracefully: an unwritable or read-only location turns
+the cache into a pass-through (one warning, no crash), a corrupt entry is
+treated as a miss and removed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import pickle
+import tempfile
+import warnings
+from dataclasses import dataclass, field
+
+#: Bump to invalidate every existing cache entry (layout/pickle changes).
+CACHE_SCHEMA_VERSION = 1
+
+#: Sentinel distinguishing "no entry" from a cached falsy value.
+MISS = object()
+
+_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Hex fingerprint of the installed ``repro`` package source.
+
+    Hashing every ``.py`` file is deliberately conservative: a one-line
+    change anywhere in the simulator invalidates the cache, which is the
+    only safe default for a research artifact whose numbers must always
+    reflect the checked-out code.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+
+        root = pathlib.Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256(
+            f"schema={CACHE_SCHEMA_VERSION}".encode("utf-8"))
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+def default_cache_root() -> pathlib.Path:
+    """Resolve the cache root from the environment."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg).expanduser() if xdg \
+        else pathlib.Path.home() / ".cache"
+    return base / "repro"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    errors: int = 0
+
+
+@dataclass
+class ResultCache:
+    """Pickle-per-key result store under a versioned directory."""
+
+    root: pathlib.Path
+    enabled: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+    _writable: bool | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.root = pathlib.Path(self.root).expanduser()
+
+    @classmethod
+    def default(cls, enabled: bool = True) -> "ResultCache":
+        """Cache at ``$REPRO_CACHE_DIR`` / XDG / ``~/.cache/repro``."""
+        return cls(root=default_cache_root(), enabled=enabled)
+
+    @property
+    def version_dir(self) -> pathlib.Path:
+        return self.root / f"v{CACHE_SCHEMA_VERSION}-{code_fingerprint()}"
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.version_dir / f"{key}.pkl"
+
+    # -- read ----------------------------------------------------------
+
+    def get(self, key: str):
+        """Cached value for ``key``, or the :data:`MISS` sentinel."""
+        if not self.enabled:
+            return MISS
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return MISS
+        except Exception:
+            # Corrupt or unreadable entry: drop it and treat as a miss.
+            # Arbitrary bytes can make the unpickler raise nearly anything
+            # (UnpicklingError, EOFError, ValueError, ImportError, ...).
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return MISS
+        self.stats.hits += 1
+        return value
+
+    # -- write ---------------------------------------------------------
+
+    def put(self, key: str, value) -> bool:
+        """Persist ``value`` under ``key`` (atomic rename); True on success."""
+        if not self.enabled or self._writable is False:
+            return False
+        directory = self.version_dir
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            if self._writable is not False:
+                self._writable = False
+                warnings.warn(
+                    f"result cache at {directory} is not writable "
+                    f"({exc}); continuing without persistence",
+                    RuntimeWarning, stacklevel=2)
+            self.stats.errors += 1
+            return False
+        self._writable = True
+        self.stats.writes += 1
+        return True
+
+    # -- maintenance ---------------------------------------------------
+
+    def entry_count(self) -> int:
+        try:
+            return sum(1 for _ in self.version_dir.glob("*.pkl"))
+        except OSError:
+            return 0
+
+    def prune_stale(self) -> int:
+        """Delete version directories other than the current one."""
+        removed = 0
+        current = self.version_dir.name
+        try:
+            children = list(self.root.iterdir())
+        except OSError:
+            return 0
+        for child in children:
+            if child.is_dir() and child.name.startswith("v") \
+                    and child.name != current:
+                removed += _rmtree(child)
+        return removed
+
+    def clear(self) -> int:
+        """Delete every entry of the current version (returns count)."""
+        removed = 0
+        for path in self.version_dir.glob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def _rmtree(directory: pathlib.Path) -> int:
+    """Best-effort recursive delete; returns number of files removed."""
+    removed = 0
+    for path in sorted(directory.rglob("*"), reverse=True):
+        try:
+            if path.is_dir():
+                path.rmdir()
+            else:
+                path.unlink()
+                removed += 1
+        except OSError:
+            pass
+    try:
+        directory.rmdir()
+    except OSError:
+        pass
+    return removed

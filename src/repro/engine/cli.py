@@ -1,0 +1,53 @@
+"""Shared command-line wiring for the engine knobs.
+
+Every front end that exposes the engine (`python -m repro`, the example
+scripts, the benchmark conftest) takes the same two knobs — worker count
+and on-disk cache opt-out.  Defining the argparse arguments and the
+runner construction once keeps their validation and semantics from
+drifting across entry points.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.engine.cache import ResultCache
+from repro.engine.runner import ParallelRunner
+
+WORKERS_HELP = "worker processes for evaluation points " \
+               "(1 = serial, 0 = one per CPU)"
+NO_CACHE_HELP = "skip the on-disk result cache entirely"
+
+
+def worker_count(text: str) -> int:
+    """argparse type for ``--workers``: a non-negative integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            "must be >= 0 (1 = serial, 0 = one per CPU)")
+    return value
+
+
+def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach ``--workers`` / ``--no-cache`` to an argparse parser."""
+    parser.add_argument("--workers", type=worker_count, default=1,
+                        metavar="N", help=WORKERS_HELP)
+    parser.add_argument("--no-cache", action="store_true",
+                        help=NO_CACHE_HELP)
+
+
+def build_runner(workers: int = 1, no_cache: bool = False,
+                 progress=None) -> ParallelRunner:
+    """The engine configuration behind the shared knobs."""
+    cache = None if no_cache else ResultCache.default()
+    return ParallelRunner(workers=workers, cache=cache, progress=progress)
+
+
+def runner_from_args(args: argparse.Namespace,
+                     progress=None) -> ParallelRunner:
+    """Build a runner from a namespace parsed with the arguments above."""
+    return build_runner(workers=args.workers, no_cache=args.no_cache,
+                        progress=progress)

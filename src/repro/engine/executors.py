@@ -1,0 +1,217 @@
+"""Job execution: the functions that actually simulate an evaluation point.
+
+Each :class:`~repro.engine.jobs.Job` kind maps to one module-level
+function so jobs execute identically in-process (the serial fallback) and
+inside ``ProcessPoolExecutor`` workers (module-level functions pickle by
+qualified name).  Trace populations are regenerated from their
+deterministic specs and memoized per process, so parallel workers never
+ship trace objects across the pipe and serial runs share one population
+exactly like the legacy harness did.
+
+This module deliberately imports only the simulator layers (circuits,
+pipeline, workloads, baselines) at module scope — :mod:`repro.analysis`
+sits *above* the engine and is imported lazily inside function bodies,
+which keeps ``import repro.engine`` acyclic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.baselines.extra_bypass import ExtraBypassBaseline
+from repro.baselines.faulty_bits import FaultyBitsBaseline
+from repro.circuits import constants
+from repro.circuits.frequency import ClockScheme, FrequencySolver
+from repro.core.config import IrawConfig
+from repro.errors import ConfigError
+from repro.memory.hierarchy import MemoryConfig, MemorySystem
+from repro.pipeline.core import CoreSetup, InOrderCore
+from repro.pipeline.resources import PipelineParams
+from repro.workloads.trace import Trace
+from repro.engine.jobs import Job, TracePopulationSpec
+
+if TYPE_CHECKING:  # layering: analysis imports resolve lazily at runtime
+    from repro.analysis.metrics import PointResult
+
+#: Per-process memo of generated populations; fork workers inherit the
+#: parent's entries, spawn workers rebuild them deterministically.
+#: Bounded LRU: long-lived processes exploring many distinct settings
+#: must not accumulate every population they ever touched.
+_POPULATIONS: "OrderedDict[TracePopulationSpec, list[Trace]]" = OrderedDict()
+_POPULATIONS_MAX = 4
+
+
+def population_for(spec: TracePopulationSpec) -> list[Trace]:
+    """The (per-process memoized) trace population of ``spec``."""
+    traces = _POPULATIONS.get(spec)
+    if traces is None:
+        traces = _POPULATIONS[spec] = spec.build()
+        while len(_POPULATIONS) > _POPULATIONS_MAX:
+            _POPULATIONS.popitem(last=False)
+    else:
+        _POPULATIONS.move_to_end(spec)
+    return traces
+
+
+def warm_caches(memory: MemorySystem, trace: Trace) -> None:
+    """Replay a trace's addresses through the hierarchy, then reset stats.
+
+    The paper's 10 M-instruction traces amortize cold misses; our traces
+    are shorter, so each trace's code and data addresses are replayed
+    before the timed run (cache/TLB contents survive, statistics and
+    transient buffers reset).
+    """
+    il0, dl0, ul1 = memory.il0, memory.dl0, memory.ul1
+    itlb, dtlb = memory.itlb, memory.dtlb
+    last_line = -1
+    for op in trace.ops:
+        line = op.pc >> 6
+        if line != last_line:
+            last_line = line
+            if not itlb.access(op.pc):
+                itlb.fill(op.pc)
+            if not il0.access(op.pc).hit:
+                il0.fill(op.pc)
+                if not ul1.access(op.pc).hit:
+                    ul1.fill(op.pc)
+        address = op.mem_addr
+        if address is not None:
+            if not dtlb.access(address):
+                dtlb.fill(address)
+            if not dl0.access(address, is_write=op.is_store).hit:
+                dl0.fill(address, dirty=op.is_store)
+                if not ul1.access(address).hit:
+                    ul1.fill(address)
+    memory.reset_after_warmup()
+
+
+# ----------------------------------------------------------------------
+# Shared pieces
+# ----------------------------------------------------------------------
+
+def _solver_for(job: Job) -> FrequencySolver:
+    """Rebuild the frequency solver a job was keyed against."""
+    kwargs = {}
+    delay_model = job.option("delay_model")
+    if delay_model is not None:
+        kwargs["delay_model"] = delay_model
+    nominal = job.option("nominal_frequency_mhz")
+    if nominal is not None:
+        kwargs["nominal_frequency_mhz"] = nominal
+    return FrequencySolver(**kwargs)
+
+
+def _run_population(job: Job, point, setup: CoreSetup, scheme_name: str,
+                    memory_mutator=None):
+    """Run the job's population under ``setup`` at ``point``."""
+    from repro.analysis.metrics import PointResult
+
+    if job.population is None:
+        raise ConfigError(f"{job.kind} job needs a trace population")
+    dram_latency_ns = job.option("dram_latency_ns",
+                                 constants.DRAM_LATENCY_NS)
+    base_memory = job.option("memory") or MemoryConfig()
+    warm = job.option("warm", True)
+    memory = replace(base_memory,
+                     dram_latency_cycles=point.memory_latency_cycles(
+                         dram_latency_ns))
+    results = []
+    extras: dict[str, float] = {}
+    for trace in population_for(job.population):
+        core = InOrderCore(replace(setup, memory=memory))
+        if memory_mutator is not None:
+            extras = dict(memory_mutator(core.memory) or {})
+        if warm:
+            warm_caches(core.memory, trace)
+        results.append(core.run(trace))
+    return PointResult(vcc_mv=job.vcc_mv, scheme=scheme_name, point=point,
+                       results=tuple(results),
+                       extras=tuple(sorted(extras.items())))
+
+
+# ----------------------------------------------------------------------
+# Executors by kind
+# ----------------------------------------------------------------------
+
+def _run_sweep_point(job: Job) -> PointResult:
+    """The classic (Vcc, scheme) evaluation point of ``VccSweep``."""
+    solver = _solver_for(job)
+    scheme = ClockScheme(job.scheme)
+    point = solver.operating_point(job.vcc_mv, scheme)
+    if scheme is ClockScheme.IRAW:
+        iraw = IrawConfig.for_operating_point(point, **job.overrides_dict())
+    else:
+        iraw = IrawConfig.disabled()
+    params = job.option("params") or PipelineParams()
+    setup = CoreSetup(iraw=iraw, params=params,
+                      name=f"{scheme.value}@{job.vcc_mv:g}mV",
+                      check_values=False)
+    return _run_population(job, point, setup, scheme.value)
+
+
+def _run_faulty_bits(job: Job) -> PointResult:
+    """Table 1's Faulty Bits alternative: honest clock, degraded caches."""
+    baseline = FaultyBitsBaseline(_solver_for(job))
+    point = baseline.operating_point(job.vcc_mv)
+    setup = baseline.core_setup(job.vcc_mv)
+    return _run_population(job, point, setup, "faulty-bits",
+                           memory_mutator=baseline.apply_to_memory)
+
+
+def _run_extra_bypass(job: Job) -> PointResult:
+    """Table 1's Extra Bypass alternative (optionally RF-only)."""
+    baseline = ExtraBypassBaseline(_solver_for(job))
+    hypothetical = bool(job.option("hypothetical_rf_only", False))
+    point = baseline.operating_point(job.vcc_mv,
+                                     hypothetical_rf_only=hypothetical)
+    setup = baseline.core_setup(job.vcc_mv,
+                                hypothetical_rf_only=hypothetical)
+    return _run_population(job, point, setup, "extra-bypass")
+
+
+def _run_dvfs_schedule(job: Job):
+    """One DVFS scenario: a trace through a Vcc schedule."""
+    # Lazy import: analysis.dvfs sits above the engine in the layering.
+    from repro.analysis.dvfs import DEFAULT_TRANSITION_NS, DvfsScenario
+
+    if job.trace is None:
+        raise ConfigError("dvfs-schedule job needs a trace spec")
+    phases = job.option("phases")
+    if not phases:
+        raise ConfigError("dvfs-schedule job needs a phase schedule")
+    scenario = DvfsScenario(
+        scheme=ClockScheme(job.scheme),
+        solver=_solver_for(job),
+        params=job.option("params"),
+        memory=job.option("memory"),
+        dram_latency_ns=job.option("dram_latency_ns",
+                                   constants.DRAM_LATENCY_NS),
+        transition_ns=job.option("transition_ns", DEFAULT_TRANSITION_NS),
+        warm=bool(job.option("warm", True)),
+    )
+    return scenario.run(job.trace.build(), list(phases))
+
+
+def _crash(job: Job):
+    """Test-only executor: deterministic failure for error-path tests."""
+    raise RuntimeError(f"injected engine crash ({job.option('note', '')})")
+
+
+_EXECUTORS = {
+    "sweep-point": _run_sweep_point,
+    "faulty-bits": _run_faulty_bits,
+    "extra-bypass": _run_extra_bypass,
+    "dvfs-schedule": _run_dvfs_schedule,
+    "engine-selftest-crash": _crash,
+}
+
+
+def execute_job(job: Job):
+    """Run one job to completion (in this process) and return its result."""
+    try:
+        executor = _EXECUTORS[job.kind]
+    except KeyError:
+        raise ConfigError(f"no executor for job kind {job.kind!r}") from None
+    return executor(job)

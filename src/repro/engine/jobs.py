@@ -1,0 +1,224 @@
+"""Declarative experiment jobs and their canonical cache keys.
+
+A :class:`Job` is a frozen, picklable value describing **one** evaluation:
+which kind of experiment to run (``sweep-point``, ``faulty-bits``,
+``extra-bypass``, ``dvfs-schedule``), at which evaluation point
+(Vcc/scheme), on which trace population, with which knobs.  Two jobs that
+would simulate the same thing compare equal and share one canonical key,
+so the runner deduplicates them and the on-disk cache can serve either.
+
+Keys are built by :func:`job_key`: every field — including nested
+dataclasses such as :class:`~repro.pipeline.resources.PipelineParams` or
+:class:`~repro.memory.hierarchy.MemoryConfig` — is folded into a stable
+JSON token tree and hashed.  Floats are keyed by ``repr`` (exact bits),
+enums by their value, dataclasses field-by-field, so the key is stable
+across processes and Python runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigError
+from repro.workloads.profiles import PROFILES_BY_NAME, TraceProfile
+
+#: Job kinds with a registered executor (see :mod:`repro.engine.executors`).
+KNOWN_KINDS = (
+    "sweep-point",
+    "faulty-bits",
+    "extra-bypass",
+    "dvfs-schedule",
+    "engine-selftest-crash",
+)
+
+
+@dataclass(frozen=True)
+class TracePopulationSpec:
+    """Deterministic recipe for a trace population.
+
+    Workers regenerate the population from this spec instead of shipping
+    trace objects across process boundaries: generation is seeded, so the
+    rebuilt traces are identical to the parent's.
+    """
+
+    profiles: tuple[TraceProfile, ...]
+    seeds_per_profile: int = 1
+    trace_length: int = 12_000
+
+    def __post_init__(self) -> None:
+        if not self.profiles:
+            raise ConfigError("population needs at least one profile")
+        if self.seeds_per_profile < 1 or self.trace_length < 1:
+            raise ConfigError("population sizing must be positive")
+
+    def build(self):
+        """Generate the trace population (deterministic)."""
+        from repro.workloads.synthetic import generate_population
+
+        return generate_population(self.profiles, self.seeds_per_profile,
+                                   self.trace_length)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Recipe for one trace: a synthetic profile walk or a kernel."""
+
+    source: str = "synthetic"           # "synthetic" | "kernel"
+    profile: TraceProfile | None = None
+    seed: int = 0
+    length: int = 6_000
+    kernel: str | None = None
+    size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.source == "synthetic":
+            if self.profile is None:
+                raise ConfigError("synthetic trace spec needs a profile")
+        elif self.source == "kernel":
+            if not self.kernel:
+                raise ConfigError("kernel trace spec needs a kernel name")
+        else:
+            raise ConfigError(f"unknown trace source {self.source!r}")
+
+    @classmethod
+    def synthetic(cls, profile: TraceProfile | str, seed: int = 0,
+                  length: int = 6_000) -> "TraceSpec":
+        if isinstance(profile, str):
+            profile = PROFILES_BY_NAME[profile]
+        return cls(source="synthetic", profile=profile, seed=seed,
+                   length=length)
+
+    @classmethod
+    def for_kernel(cls, kernel: str, size: int = 32) -> "TraceSpec":
+        return cls(source="kernel", kernel=kernel, size=size)
+
+    def build(self):
+        """Generate the trace (deterministic)."""
+        if self.source == "kernel":
+            from repro.workloads.kernels import kernel_trace
+
+            trace, _ = kernel_trace(self.kernel, self.size)
+            return trace
+        from repro.workloads.synthetic import SyntheticTraceGenerator
+
+        generator = SyntheticTraceGenerator(self.profile, seed=self.seed)
+        return generator.generate(self.length)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One declarative evaluation point.
+
+    Attributes
+    ----------
+    kind:
+        Which executor runs this job (see :data:`KNOWN_KINDS`).
+    vcc_mv / scheme:
+        The evaluation point.  ``scheme`` is the
+        :class:`~repro.circuits.frequency.ClockScheme` *value* string so
+        the job stays a plain-data value.
+    population:
+        Trace population recipe for population-style jobs.
+    trace:
+        Single-trace recipe for schedule-style jobs.
+    iraw_overrides:
+        Sorted ``(name, value)`` pairs forwarded to
+        :meth:`IrawConfig.for_operating_point` (ablation switches).
+    options:
+        Sorted ``(name, value)`` pairs of kind-specific knobs (``warm``,
+        ``dram_latency_ns``, ``params``, ``memory``, baseline flags,
+        DVFS schedules...).  Values may be nested frozen dataclasses.
+    """
+
+    kind: str
+    vcc_mv: float = 0.0
+    scheme: str = "baseline"
+    population: TracePopulationSpec | None = None
+    trace: TraceSpec | None = None
+    iraw_overrides: tuple = ()
+    options: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in KNOWN_KINDS:
+            raise ConfigError(f"unknown job kind {self.kind!r}")
+        object.__setattr__(self, "iraw_overrides",
+                           _sorted_pairs(self.iraw_overrides))
+        object.__setattr__(self, "options", _sorted_pairs(self.options))
+
+    # -- convenience accessors -----------------------------------------
+
+    def option(self, name: str, default=None):
+        for key, value in self.options:
+            if key == name:
+                return value
+        return default
+
+    def overrides_dict(self) -> dict:
+        return dict(self.iraw_overrides)
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for progress/error messages."""
+        bits = [self.kind]
+        if self.vcc_mv:
+            bits.append(f"{self.scheme}@{self.vcc_mv:g}mV")
+        if self.iraw_overrides:
+            bits.append(",".join(f"{k}={v}" for k, v in self.iraw_overrides))
+        return " ".join(bits)
+
+
+def _sorted_pairs(pairs) -> tuple:
+    """Normalize a dict or pair-iterable into sorted ``(str, value)`` pairs."""
+    items = [(str(k), v) for k, v in dict(pairs).items()]
+    return tuple(sorted(items, key=lambda kv: kv[0]))
+
+
+# ----------------------------------------------------------------------
+# Canonical keys
+# ----------------------------------------------------------------------
+
+def stable_token(value):
+    """Fold ``value`` into a JSON-serializable token with stable identity.
+
+    Dataclasses are expanded field-by-field (tagged with their qualified
+    name so two different types never collide), enums by value, floats by
+    exact ``repr``.  Unsupported types raise ``TypeError`` — jobs must be
+    plain data.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        token = {"__type__": f"{type(value).__module__}."
+                             f"{type(value).__qualname__}"}
+        for field in dataclasses.fields(value):
+            token[field.name] = stable_token(getattr(value, field.name))
+        return token
+    if isinstance(value, Enum):
+        return {"__enum__": f"{type(value).__qualname__}.{value.name}",
+                "value": stable_token(value.value)}
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return {"__float__": repr(value)}
+    if isinstance(value, (list, tuple)):
+        return [stable_token(item) for item in value]
+    if isinstance(value, dict):
+        return {"__dict__": sorted(
+            (str(k), stable_token(v)) for k, v in value.items())}
+    if isinstance(value, (set, frozenset)):
+        return {"__set__": sorted(json.dumps(stable_token(v), sort_keys=True)
+                                  for v in value)}
+    raise TypeError(
+        f"cannot build a stable job key from {type(value).__name__!r}; "
+        f"jobs must be plain data (dataclasses, enums, scalars, tuples)")
+
+
+def job_key(job: Job) -> str:
+    """Canonical content hash of a job (hex, stable across processes)."""
+    payload = json.dumps(stable_token(job), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

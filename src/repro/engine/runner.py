@@ -1,0 +1,189 @@
+"""Order-preserving, deduplicating, cache-aware job batch execution.
+
+``ParallelRunner.run`` resolves each job in three tiers:
+
+1. **in-memory memo** — results already produced by this runner;
+2. **on-disk cache** — results persisted by any earlier run of the same
+   code (see :mod:`repro.engine.cache`);
+3. **execution** — everything still pending, either inline
+   (``workers=1``, the deterministic serial fallback whose results are
+   bit-identical to the legacy inline loops) or across a
+   ``ProcessPoolExecutor``.
+
+Duplicate jobs inside one batch are simulated once.  Results come back
+in submission order regardless of which worker finished first, so
+figure generators can ``zip`` them against their grid.
+
+Error model: with ``workers=1`` exceptions propagate unchanged (exactly
+like the legacy inline code); from worker processes they are re-raised
+as :class:`EngineError` chained to the original exception, and the rest
+of the batch is cancelled.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from dataclasses import dataclass
+
+from repro.engine.cache import MISS, ResultCache
+from repro.engine.executors import execute_job
+from repro.engine.jobs import Job, job_key
+from repro.engine.progress import NullProgress
+
+
+class EngineError(RuntimeError):
+    """A job failed while executing inside a worker process."""
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated across every batch a runner executes."""
+
+    submitted: int = 0
+    #: Jobs answered from this runner's own memo.
+    memory_hits: int = 0
+    #: Jobs answered from the on-disk cache.
+    disk_hits: int = 0
+    #: Duplicate jobs inside one batch, collapsed to a single execution.
+    deduplicated: int = 0
+    #: Core simulations actually performed (the expensive part).
+    simulated: int = 0
+    errors: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+
+class ParallelRunner:
+    """Execute job batches with memoization and optional parallelism.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` (default) runs jobs inline — deterministic,
+        no subprocesses, identical to the legacy serial loops.  ``0``
+        means "one per CPU".
+    cache:
+        A :class:`~repro.engine.cache.ResultCache`, or ``None`` to keep
+        results only in memory (hermetic: nothing read from or written
+        to disk).
+    progress:
+        Listener with the :class:`~repro.engine.progress.NullProgress`
+        protocol.
+    """
+
+    def __init__(self, workers: int = 1,
+                 cache: ResultCache | None = None,
+                 progress=None):
+        if workers == 0 or workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1 (got {workers})")
+        self.workers = int(workers)
+        self.cache = cache
+        self.progress = progress if progress is not None else NullProgress()
+        self.stats = EngineStats()
+        self._memo: dict[str, object] = {}
+
+    # -- public API ----------------------------------------------------
+
+    def run(self, jobs, label: str = "") -> list:
+        """Resolve ``jobs`` and return their results in submission order."""
+        jobs = list(jobs)
+        keys = [job_key(job) for job in jobs]
+        self.stats.submitted += len(jobs)
+        pending: dict[str, Job] = {}
+        for job, key in zip(jobs, keys):
+            if key in self._memo:
+                self.stats.memory_hits += 1
+                continue
+            if key in pending:
+                self.stats.deduplicated += 1
+                continue
+            if self.cache is not None:
+                value = self.cache.get(key)
+                if value is not MISS:
+                    self._memo[key] = value
+                    self.stats.disk_hits += 1
+                    continue
+            pending[key] = job
+        if pending:
+            self._execute(pending, label)
+        return [self._memo[key] for key in keys]
+
+    def run_one(self, job: Job):
+        """Resolve a single job (memo/cache-aware)."""
+        return self.run([job])[0]
+
+    def cached_result(self, job: Job):
+        """This runner's memoized result for ``job`` (or ``None``)."""
+        return self._memo.get(job_key(job))
+
+    # -- execution -----------------------------------------------------
+
+    def _execute(self, pending: dict[str, Job], label: str) -> None:
+        total = len(pending)
+        self.progress.start(total, label)
+        try:
+            if self.workers == 1 or total == 1:
+                # A single pending job skips pool setup even on a
+                # multi-worker runner; errors still follow the runner's
+                # declared contract (wrapped unless workers == 1).
+                self._execute_serial(pending, label, total,
+                                     wrap_errors=self.workers > 1)
+            else:
+                self._execute_parallel(pending, label, total)
+        finally:
+            self.progress.finish(total, label)
+
+    def _execute_serial(self, pending: dict[str, Job], label: str,
+                        total: int, wrap_errors: bool = False) -> None:
+        for done, (key, job) in enumerate(pending.items(), start=1):
+            try:
+                result = execute_job(job)
+            except Exception as exc:
+                self.stats.errors += 1
+                if wrap_errors:
+                    raise EngineError(
+                        f"job '{job.label}' failed: {exc}") from exc
+                raise  # serial fallback: legacy exception semantics
+            self._record(key, result)
+            self.progress.advance(done, total, label)
+
+    def _execute_parallel(self, pending: dict[str, Job], label: str,
+                          total: int) -> None:
+        max_workers = min(self.workers, total)
+        done = 0
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers)
+        try:
+            futures = {pool.submit(execute_job, job): (key, job)
+                       for key, job in pending.items()}
+            for future in concurrent.futures.as_completed(futures):
+                key, job = futures[future]
+                try:
+                    result = future.result()
+                except Exception as exc:
+                    self.stats.errors += 1
+                    raise EngineError(
+                        f"job '{job.label}' failed in a worker "
+                        f"process: {exc}") from exc
+                self._record(key, result)
+                done += 1
+                self.progress.advance(done, total, label)
+        except BaseException:
+            # Surface the failure immediately: drop queued work and do
+            # not block on simulations already in flight (they finish in
+            # the background and are reaped at interpreter exit).
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True)
+
+    def _record(self, key: str, result) -> None:
+        self.stats.simulated += 1
+        self._memo[key] = result
+        if self.cache is not None:
+            self.cache.put(key, result)

@@ -15,7 +15,7 @@ delays.  This keeps the hot path free of event queues.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.memory.buffers import FillBufferFile, WriteCombiningBuffer
 from repro.memory.cache import Cache

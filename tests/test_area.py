@@ -1,7 +1,5 @@
 """Tests for the area/power overhead accounting (paper Section 5.3)."""
 
-import pytest
-
 from repro.circuits.area import (
     AreaModel,
     CORE_TOTAL_TRANSISTORS,

@@ -56,7 +56,7 @@ class TestBasicBehaviour:
         cache.fill(0)
         cache.fill(stride)
         cache.access(0)  # make address 0 most recent
-        result = cache.fill(2 * stride)  # evicts `stride`
+        cache.fill(2 * stride)  # evicts `stride`
         assert cache.access(0).hit
         assert not cache.access(stride).hit
 

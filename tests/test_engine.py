@@ -1,0 +1,280 @@
+"""Tests of the experiment engine: jobs, cache, runner, integrations."""
+
+import importlib.util
+import pathlib
+import pickle
+
+import pytest
+
+import repro.engine.cache as cache_module
+from repro.analysis.dvfs import DvfsPhase, ScheduleSpec, evaluate_schedules
+from repro.analysis.sweep import SweepSettings, VccSweep
+from repro.circuits.frequency import ClockScheme
+from repro.engine import (
+    EngineError,
+    Job,
+    ParallelRunner,
+    ResultCache,
+    TracePopulationSpec,
+    TraceSpec,
+    job_key,
+)
+from repro.engine.cache import MISS
+from repro.engine.jobs import stable_token
+from repro.errors import ConfigError
+from repro.workloads.profiles import KERNEL_LIKE, SPECINT_LIKE
+
+pytestmark = pytest.mark.engine
+
+#: Tiny population: every engine test simulates in milliseconds.
+TINY = SweepSettings(profiles=(KERNEL_LIKE,), trace_length=400)
+
+
+def tiny_sweep(runner=None) -> VccSweep:
+    return VccSweep(TINY, runner=runner)
+
+
+class TestJobKeys:
+    def test_equal_jobs_share_a_key(self):
+        a = tiny_sweep().job_for(500.0, ClockScheme.IRAW)
+        b = tiny_sweep().job_for(500.0, ClockScheme.IRAW)
+        assert a == b
+        assert job_key(a) == job_key(b)
+
+    def test_override_order_is_canonicalized(self):
+        sweep = tiny_sweep()
+        a = sweep.job_for(500.0, ClockScheme.IRAW,
+                          rf_enabled=False, iq_enabled=False)
+        b = sweep.job_for(500.0, ClockScheme.IRAW,
+                          iq_enabled=False, rf_enabled=False)
+        assert job_key(a) == job_key(b)
+
+    def test_every_knob_lands_in_the_key(self):
+        sweep = tiny_sweep()
+        base = sweep.job_for(500.0, ClockScheme.IRAW)
+        assert job_key(base) != job_key(sweep.job_for(525.0, ClockScheme.IRAW))
+        assert job_key(base) != job_key(
+            sweep.job_for(500.0, ClockScheme.BASELINE))
+        assert job_key(base) != job_key(
+            sweep.job_for(500.0, ClockScheme.IRAW, rf_enabled=False))
+        other_population = VccSweep(
+            SweepSettings(profiles=(SPECINT_LIKE,), trace_length=400))
+        assert job_key(base) != job_key(
+            other_population.job_for(500.0, ClockScheme.IRAW))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            Job(kind="unheard-of")
+
+    def test_non_plain_data_rejected(self):
+        with pytest.raises(TypeError):
+            stable_token(object())
+
+    def test_population_spec_is_deterministic(self):
+        spec = TracePopulationSpec(profiles=(KERNEL_LIKE,), trace_length=300)
+        first, second = spec.build(), spec.build()
+        assert [t.name for t in first] == [t.name for t in second]
+        assert [op.pc for op in first[0].ops] \
+            == [op.pc for op in second[0].ops]
+
+    def test_population_memo_is_bounded(self):
+        from repro.engine import executors
+
+        for length in range(100, 100 + 3 * (executors._POPULATIONS_MAX + 2),
+                            3):
+            executors.population_for(TracePopulationSpec(
+                profiles=(KERNEL_LIKE,), trace_length=length))
+        assert len(executors._POPULATIONS) <= executors._POPULATIONS_MAX
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        assert cache.get("k") is MISS
+        assert cache.put("k", {"value": 42})
+        assert cache.get("k") == {"value": 42}
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.entry_count() == 1
+
+    @pytest.mark.parametrize("garbage", [
+        b"not a pickle",   # unknown opcode -> UnpicklingError
+        b"garbage\n",      # parses as protocol-0 GET -> ValueError
+        b"",               # empty file -> EOFError
+        b"\x80\x05only-a-prefix",  # truncated frame
+    ])
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path, garbage):
+        cache = ResultCache(root=tmp_path)
+        cache.put("k", [1, 2, 3])
+        path = cache.version_dir / "k.pkl"
+        path.write_bytes(garbage)
+        assert cache.get("k") is MISS
+        assert not path.exists()
+
+    def test_code_fingerprint_invalidates(self, tmp_path, monkeypatch):
+        cache = ResultCache(root=tmp_path)
+        cache.put("k", "old-code-result")
+        monkeypatch.setattr(cache_module, "_FINGERPRINT", "f" * 16)
+        fresh = ResultCache(root=tmp_path)
+        assert fresh.get("k") is MISS  # other version dir, never served
+        fresh.put("k", "new-code-result")
+        assert fresh.get("k") == "new-code-result"
+        assert fresh.prune_stale() == 1  # the old version dir is reclaimed
+
+    def test_schema_version_invalidates(self, tmp_path, monkeypatch):
+        cache = ResultCache(root=tmp_path)
+        cache.put("k", "v1-result")
+        monkeypatch.setattr(cache_module, "CACHE_SCHEMA_VERSION", 999)
+        assert ResultCache(root=tmp_path).get("k") is MISS
+
+    def test_unwritable_location_degrades_gracefully(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("a plain file, not a directory")
+        cache = ResultCache(root=blocker / "nested")
+        with pytest.warns(RuntimeWarning, match="not writable"):
+            assert not cache.put("k", 1)
+        assert not cache.put("k2", 2)  # silent after the first warning
+        assert cache.get("k") is MISS
+
+    def test_disabled_cache_is_pass_through(self, tmp_path):
+        cache = ResultCache(root=tmp_path, enabled=False)
+        assert not cache.put("k", 1)
+        assert cache.get("k") is MISS
+        assert cache.entry_count() == 0
+
+
+class TestRunnerSerial:
+    def test_memoizes_identical_jobs(self):
+        sweep = tiny_sweep()
+        a = sweep.run_point(500.0, ClockScheme.IRAW)
+        b = sweep.run_point(500.0, ClockScheme.IRAW)
+        assert a is b
+        assert sweep.stats.simulated == 1
+        assert sweep.stats.memory_hits == 1
+
+    def test_batch_deduplicates(self):
+        sweep = tiny_sweep()
+        results = sweep.run_points([(500.0, ClockScheme.IRAW)] * 3)
+        assert results[0] is results[1] is results[2]
+        assert sweep.stats.simulated == 1
+        assert sweep.stats.deduplicated == 2
+
+    def test_batch_preserves_submission_order(self):
+        sweep = tiny_sweep()
+        points = [(650.0, ClockScheme.BASELINE), (500.0, ClockScheme.IRAW),
+                  (500.0, ClockScheme.BASELINE)]
+        results = sweep.run_points(points)
+        assert [(r.vcc_mv, r.scheme) for r in results] \
+            == [(v, s.value) for v, s in points]
+
+    def test_serial_errors_propagate_unwrapped(self):
+        runner = ParallelRunner(workers=1)
+        with pytest.raises(RuntimeError, match="injected engine crash"):
+            runner.run([Job(kind="engine-selftest-crash")])
+        assert runner.stats.errors == 1
+
+    def test_single_job_on_parallel_runner_wraps_errors(self):
+        # One pending job runs inline even with workers > 1, but the
+        # runner's error contract (EngineError) must still hold.
+        runner = ParallelRunner(workers=4)
+        with pytest.raises(EngineError, match="failed"):
+            runner.run([Job(kind="engine-selftest-crash")])
+
+    def test_results_are_picklable(self):
+        point = tiny_sweep().run_point(500.0, ClockScheme.IRAW)
+        clone = pickle.loads(pickle.dumps(point))
+        assert clone.cycles == point.cycles
+        assert clone.point == point.point
+
+
+class TestOnDiskCache:
+    def test_warm_cache_rerun_performs_zero_simulations(self, tmp_path):
+        points = [(650.0, ClockScheme.BASELINE), (500.0, ClockScheme.IRAW)]
+        cold = tiny_sweep(ParallelRunner(cache=ResultCache(root=tmp_path)))
+        first = cold.run_points(points)
+        assert cold.stats.simulated == len(points)
+
+        warm = tiny_sweep(ParallelRunner(cache=ResultCache(root=tmp_path)))
+        second = warm.run_points(points)
+        assert warm.stats.simulated == 0
+        assert warm.stats.disk_hits == len(points)
+        for a, b in zip(first, second):
+            assert a.cycles == b.cycles and a.ipc == b.ipc
+
+    def test_no_cache_runner_touches_no_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        sweep = tiny_sweep()  # default runner: memory-only
+        sweep.run_point(650.0, ClockScheme.BASELINE)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_cache_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "here"))
+        cache = ResultCache.default()
+        assert cache.root == tmp_path / "here"
+
+
+@pytest.mark.slow
+class TestParallelExecution:
+    def test_parallel_equals_serial_on_a_small_sweep(self, tmp_path):
+        points = [(vcc, scheme)
+                  for vcc in (650.0, 575.0, 500.0)
+                  for scheme in (ClockScheme.BASELINE, ClockScheme.IRAW)]
+        serial = tiny_sweep().run_points(points)
+        parallel_runner = ParallelRunner(workers=2,
+                                         cache=ResultCache(root=tmp_path))
+        parallel = tiny_sweep(parallel_runner).run_points(points)
+        for a, b in zip(serial, parallel):
+            assert a.cycles == b.cycles
+            assert a.instructions == b.instructions
+            assert a.point == b.point
+            assert a.ipc == b.ipc
+        assert parallel_runner.stats.simulated == len(points)
+
+    def test_worker_crash_propagates_as_engine_error(self):
+        runner = ParallelRunner(workers=2)
+        jobs = [Job(kind="engine-selftest-crash", options=(("note", str(i)),))
+                for i in range(2)]
+        with pytest.raises(EngineError, match="failed in a worker"):
+            runner.run(jobs)
+        assert runner.stats.errors >= 1
+
+    def test_worker_crash_chains_original_exception(self):
+        runner = ParallelRunner(workers=2)
+        jobs = [Job(kind="engine-selftest-crash", options=(("note", str(i)),))
+                for i in range(2)]
+        with pytest.raises(EngineError) as excinfo:
+            runner.run(jobs)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        assert "injected engine crash" in str(excinfo.value.__cause__)
+
+    def test_dvfs_schedule_batch_matches_direct_scenario(self):
+        from repro.analysis.dvfs import DvfsScenario
+
+        spec = TraceSpec.synthetic(KERNEL_LIKE, seed=3, length=600)
+        phases = (DvfsPhase(650.0, 300), DvfsPhase(500.0, 300))
+        batched, = evaluate_schedules(
+            [ScheduleSpec(trace=spec, phases=phases,
+                          scheme=ClockScheme.IRAW)],
+            runner=ParallelRunner(workers=2))
+        direct = DvfsScenario(scheme=ClockScheme.IRAW).run(
+            spec.build(), list(phases))
+        assert [p.cycles for p in batched.phases] \
+            == [p.cycles for p in direct.phases]
+        assert batched.total_time_s == direct.total_time_s
+
+
+class TestBenchConftest:
+    def test_record_table_tolerates_readonly_results_dir(self, monkeypatch,
+                                                         tmp_path):
+        conftest_path = (pathlib.Path(__file__).resolve().parent.parent
+                         / "benchmarks" / "conftest.py")
+        spec = importlib.util.spec_from_file_location("bench_conftest",
+                                                      conftest_path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        blocker = tmp_path / "occupied"
+        blocker.write_text("results dir path is taken by a file")
+        monkeypatch.setattr(module, "RESULTS_DIR", blocker / "results")
+        with pytest.warns(RuntimeWarning, match="not writable"):
+            module.record_table("t1", "table body")
+        module.record_table("t2", "table body")  # silent skip, no crash
+        assert [name for name, _ in module._TABLES] == ["t1", "t2"]

@@ -15,6 +15,9 @@ from repro.analysis.sweep import SweepSettings, VccSweep
 from repro.analysis.table1 import build_table1
 from repro.workloads.profiles import KERNEL_LIKE, SPECINT_LIKE
 
+#: Full-population sweep simulations; CI matrix legs skip via -m "not slow".
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def sweep():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuits.frequency import ClockScheme, FrequencySolver
+from repro.circuits.frequency import ClockScheme
 from repro.core.config import IrawConfig
 from repro.core.controller import VccController
 from repro.core.policy import GUARDED_BLOCKS, IrawPolicy

@@ -1,7 +1,5 @@
 """Tests for stall accounting structures."""
 
-import pytest
-
 from repro.pipeline.stats import (
     IRAW_STALL_REASONS,
     StallReason,

@@ -8,6 +8,9 @@ from repro.memory.hierarchy import MemorySystem
 from repro.workloads.kernels import kernel_trace
 from repro.workloads.profiles import KERNEL_LIKE, SPECINT_LIKE
 
+#: Full-population sweep simulations; CI matrix legs skip via -m "not slow".
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def sweep():
