@@ -8,11 +8,12 @@ read-only checkouts (sandboxed CI runners) the write is skipped with a
 warning instead of failing the bench.
 
 The expensive Vcc-sweep points are shared through a session-scoped
-:func:`session_sweep` fixture backed by the experiment engine:
-``--workers N`` fans evaluation points across processes, and completed
-points persist in the on-disk result cache so repeated bench runs skip
-finished simulations entirely (``--no-cache`` opts out, e.g. when the
-point is to time the simulator itself).
+:func:`session_sweep` fixture backed by the experiment engine: each
+point shards into one job per trace, ``--workers N`` fans those shards
+across processes, and completed shards persist in the on-disk result
+cache (bounded by ``$REPRO_CACHE_MAX_BYTES``) so repeated bench runs
+skip finished simulations entirely (``--no-cache`` opts out, e.g. when
+the point is to time the simulator itself).
 """
 
 from __future__ import annotations

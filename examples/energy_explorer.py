@@ -8,9 +8,9 @@ execution time, energy and EDP — then answers two planning questions:
 * Which Vcc minimizes EDP under each clocking scheme?
 * At a fixed performance target, how much energy does IRAW save?
 
-The whole (Vcc x scheme) grid is one engine batch: ``--workers N`` runs
-it across N processes and the on-disk result cache makes re-exploration
-free (``--no-cache`` opts out).
+The whole (Vcc x scheme) grid is one engine batch sharded per trace:
+``--workers N`` runs the shards across N processes and the on-disk
+result cache makes re-exploration free (``--no-cache`` opts out).
 
 Run:  python examples/energy_explorer.py [--workers 4] [--no-cache]
 """
@@ -91,7 +91,7 @@ def main() -> None:
               "deadline on this population.")
 
     stats = sweep.stats
-    print(f"\nengine: {stats.simulated} points simulated, "
+    print(f"\nengine: {stats.simulated} trace shards simulated, "
           f"{stats.memory_hits} memo hits, {stats.disk_hits} cache hits")
 
 

@@ -5,10 +5,12 @@ This is the paper's whole evaluation story in one run: cycle times,
 frequency/performance gains and energy-delay product from 700 mV down to
 400 mV on the standard six-profile workload population.
 
-The simulated grid goes through the experiment engine: ``--workers N``
-spreads the (Vcc, scheme) points across N processes, and completed points
-persist in the on-disk result cache, so a re-run (or the energy-explorer
-example on the same population) replays instantly.
+The simulated grid goes through the experiment engine: every (Vcc,
+scheme) point shards into one job per trace, ``--workers N`` spreads the
+shards across N processes, and completed shards persist in the on-disk
+result cache (bounded by ``$REPRO_CACHE_MAX_BYTES`` when set), so a
+re-run (or the energy-explorer example on the same population) replays
+instantly and a grown population re-simulates only its new traces.
 
 Run:  python examples/vcc_sweep.py [--step 50] [--length 6000]
                                    [--workers 4] [--no-cache]
@@ -63,7 +65,7 @@ def main() -> None:
               "(paper: EDP 0.61 @500mV, 0.33 @400mV)"))
 
     stats = sweep.stats
-    print(f"\nengine: {stats.simulated} points simulated, "
+    print(f"\nengine: {stats.simulated} trace shards simulated, "
           f"{stats.memory_hits} memo hits, {stats.disk_hits} cache hits "
           f"({runner.workers} worker{'s' if runner.workers != 1 else ''})")
 

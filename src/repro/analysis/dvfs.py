@@ -17,7 +17,10 @@ across phases — but *grids* of scenarios (schemes x schedules x traces)
 are independent, so :func:`evaluate_schedules` and
 :func:`compare_schemes` express them as declarative ``dvfs-schedule``
 jobs and submit the whole batch through the experiment engine, where
-they parallelize and persist in the result cache.
+they parallelize and persist in the result cache.  A ``dvfs-schedule``
+job already targets a single trace, so it is the engine's atomic unit:
+the runner's per-trace sharding applies to population kinds and leaves
+these jobs whole.
 """
 
 from __future__ import annotations

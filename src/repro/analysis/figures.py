@@ -5,9 +5,12 @@ print them and assert the qualitative shape (who wins, where crossovers
 fall).  See DESIGN.md's experiment index for the mapping.
 
 The simulated figures (11b, 12) prefetch their whole (Vcc x scheme) grid
-through the sweep's engine in one batch before assembling rows, so a
-``ParallelRunner(workers=N)`` spreads the grid across N processes and a
-warm result cache regenerates figures without any simulation at all.
+through the sweep's engine in one batch before assembling rows.  The
+engine shards every grid point per trace, so a
+``ParallelRunner(workers=N)`` spreads ``points x traces`` units across N
+processes, a warm result cache regenerates figures without any
+simulation at all, and adding a trace to the population re-simulates
+only that trace's shards.
 """
 
 from __future__ import annotations

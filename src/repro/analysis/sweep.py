@@ -7,11 +7,14 @@ energy.
 
 Since the engine refactor every evaluation point is a declarative
 :class:`~repro.engine.jobs.Job` resolved through a
-:class:`~repro.engine.runner.ParallelRunner`: points already produced by
-this sweep (or found in the runner's on-disk cache) are never
-re-simulated, batches submitted via :meth:`VccSweep.run_points` spread
-across worker processes, and the default serial runner is bit-identical
-to the legacy inline loop.
+:class:`~repro.engine.runner.ParallelRunner`.  The runner splits each
+population point into **per-trace shards** — the unit of execution and
+of on-disk caching is one (trace, Vcc, scheme, config) combination — so
+a batch of few points over many traces still saturates every worker,
+growing the population re-simulates only the new traces, and points
+already produced by this sweep (or whose shards sit in the runner's
+on-disk cache) are never re-simulated.  The default serial runner is
+bit-identical to the legacy inline loop.
 
 Cache warmup: the paper's 10 M-instruction traces amortize cold misses;
 our traces are shorter, so the harness replays each trace's code and data
@@ -137,10 +140,12 @@ class VccSweep:
     def run_points(self, points, label: str = "sweep") -> list[PointResult]:
         """Resolve a batch of ``(vcc_mv, scheme)`` pairs through the engine.
 
-        This is the parallel entry point: all not-yet-known points run
-        concurrently across the runner's workers, and every result is
-        memoized so later :meth:`run_point`/:meth:`compare` calls on the
-        same coordinates are free.
+        This is the parallel entry point: every not-yet-known point is
+        sharded per trace and the shards run concurrently across the
+        runner's workers (``points x traces`` parallel units, not just
+        ``points``).  Every result is memoized so later
+        :meth:`run_point`/:meth:`compare` calls on the same coordinates
+        are free.
         """
         jobs = [self.job_for(vcc_mv, scheme) for vcc_mv, scheme in points]
         return self.runner.run(jobs, label=label)

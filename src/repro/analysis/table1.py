@@ -8,8 +8,10 @@ and its hardware overhead.
 
 All four population runs (baseline, IRAW, Faulty Bits, Extra Bypass) are
 declarative engine jobs submitted as **one batch** through the sweep's
-runner, so they parallelize across workers and persist in the result
-cache like any other evaluation point.
+runner, where each splits into per-trace shards: the batch exposes
+``4 x traces`` parallel units, and every shard persists in the result
+cache like any other evaluation point, so re-running Table 1 after
+growing the trace population simulates only the new traces.
 """
 
 from __future__ import annotations

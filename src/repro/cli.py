@@ -11,10 +11,13 @@ Subcommands
 ``cache``     inspect or clear the on-disk result cache
 
 The simulation-backed subcommands (``figures``, ``compare``) run their
-evaluation points through the experiment engine: ``--workers N`` spreads
-the grid across N processes (``0`` = one per CPU) and completed points
-persist in the on-disk result cache (``$REPRO_CACHE_DIR`` or
-``~/.cache/repro``) unless ``--no-cache`` is given.
+evaluation points through the experiment engine: every point is sharded
+per trace, ``--workers N`` spreads the shards across N processes (``0``
+= one per CPU) and completed shards persist in the on-disk result cache
+(``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) unless ``--no-cache`` is
+given.  ``$REPRO_CACHE_MAX_BYTES`` bounds the cache; ``cache --prune``
+evicts least-recently-used entries beyond the bound and reclaims stale
+code versions.
 """
 
 from __future__ import annotations
@@ -106,7 +109,9 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--clear", action="store_true",
                        help="delete every entry of the current code version")
     cache.add_argument("--prune", action="store_true",
-                       help="delete entries from stale code versions")
+                       help="delete entries from stale code versions and "
+                            "evict least-recently-used entries beyond "
+                            "$REPRO_CACHE_MAX_BYTES")
     return parser
 
 
@@ -215,12 +220,21 @@ def _cmd_cache(args) -> int:
     if args.prune:
         removed = cache.prune_stale()
         print(f"pruned {removed} entries from stale code versions")
+        evicted = cache.enforce_limit()
+        for key, size in evicted:
+            print(f"evicted {key} ({size} bytes)")
+        if cache.max_bytes is not None:
+            print(f"evicted {len(evicted)} entries over the "
+                  f"{cache.max_bytes}-byte bound")
     if args.clear:
         removed = cache.clear()
         print(f"cleared {removed} entries")
+    bound = (f"{cache.max_bytes} bytes" if cache.max_bytes is not None
+             else "unbounded")
     print(f"cache root:    {cache.root}")
     print(f"code version:  {cache.version_dir.name}")
     print(f"entries:       {cache.entry_count()}")
+    print(f"size:          {cache.total_bytes()} bytes (bound: {bound})")
     return 0
 
 

@@ -10,6 +10,11 @@ and executes batches of them through a
   one evaluation — config, trace-population key and evaluation point.
   Identical jobs have identical canonical keys, which drive both the
   in-memory memo and the on-disk cache.
+* **Sharding** (:func:`~repro.engine.jobs.shard_jobs`): population jobs
+  split into one shard per trace before execution, so the unit of work
+  and of caching is a single (trace, Vcc, scheme, config) point;
+  :func:`~repro.engine.jobs.aggregate_shard_results` reduces shards back
+  to the population result bit-identically to the legacy serial loop.
 * **Execution** (:mod:`repro.engine.executors`) maps a job kind to the
   function that simulates it.  The same function runs in-process
   (``workers=1``, the bit-identical serial fallback) or inside a
@@ -18,6 +23,8 @@ and executes batches of them through a
   content-addressed on-disk store (``$REPRO_CACHE_DIR`` or
   ``~/.cache/repro``) keyed by the job's canonical key under a fingerprint
   of the package source, so any code change invalidates stale results.
+  ``$REPRO_CACHE_MAX_BYTES`` bounds the store: an index file tracks entry
+  sizes and recency, and least-recently-used shards are evicted first.
 * **Progress** (:mod:`repro.engine.progress`) reports batch progress
   without coupling the runner to a UI.
 
@@ -37,7 +44,9 @@ from repro.engine.jobs import (
     Job,
     TracePopulationSpec,
     TraceSpec,
+    aggregate_shard_results,
     job_key,
+    shard_jobs,
 )
 from repro.engine.progress import NullProgress, TextProgress
 from repro.engine.runner import EngineError, EngineStats, ParallelRunner
@@ -53,7 +62,9 @@ __all__ = [
     "TracePopulationSpec",
     "TraceSpec",
     "add_engine_arguments",
+    "aggregate_shard_results",
     "build_runner",
     "job_key",
     "runner_from_args",
+    "shard_jobs",
 ]

@@ -13,11 +13,30 @@ The cache root is ``$REPRO_CACHE_DIR`` if set, else
 failures degrade gracefully: an unwritable or read-only location turns
 the cache into a pass-through (one warning, no crash), a corrupt entry is
 treated as a miss and removed.
+
+Size bound (LRU)
+----------------
+Per-trace sharding multiplies the entry count, so the store is bounded:
+``$REPRO_CACHE_MAX_BYTES`` (or the ``max_bytes`` constructor argument)
+caps the total payload bytes of the current version directory.  An
+``index.json`` beside the entries records each entry's size and a logical
+recency clock — bumped on every hit and write, persisted with the same
+atomic-rename discipline as the entries themselves — and when a write
+pushes the total over the bound, least-recently-used entries are evicted
+until it fits.  Hit recency is write-behind (memory only) and lands on
+disk with the next write, :meth:`ResultCache.enforce_limit`, or an
+explicit :meth:`ResultCache.flush` — the runner flushes after every
+batch, so pure-hit regenerations never rewrite the index per read.  A
+corrupted or missing index is rebuilt from a directory scan (recency
+approximated by file mtime), never trusted blindly.
+``python -m repro cache --prune`` applies the same policy offline via
+:meth:`ResultCache.enforce_limit` and reports exactly what it deleted.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pathlib
 import pickle
@@ -28,10 +47,28 @@ from dataclasses import dataclass, field
 #: Bump to invalidate every existing cache entry (layout/pickle changes).
 CACHE_SCHEMA_VERSION = 1
 
+#: Name of the per-version LRU bookkeeping file (not a result entry).
+INDEX_NAME = "index.json"
+
 #: Sentinel distinguishing "no entry" from a cached falsy value.
 MISS = object()
 
 _FINGERPRINT: str | None = None
+
+
+def cache_max_bytes() -> int | None:
+    """The ``$REPRO_CACHE_MAX_BYTES`` bound, or ``None`` for unbounded."""
+    env = os.environ.get("REPRO_CACHE_MAX_BYTES")
+    if not env:
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-integer REPRO_CACHE_MAX_BYTES={env!r}",
+            RuntimeWarning, stacklevel=2)
+        return None
+    return value if value > 0 else None
 
 
 def code_fingerprint() -> str:
@@ -77,20 +114,33 @@ class CacheStats:
 
 @dataclass
 class ResultCache:
-    """Pickle-per-key result store under a versioned directory."""
+    """Pickle-per-key result store under a versioned directory.
+
+    ``max_bytes`` bounds the total payload of the current version
+    directory; ``None`` means unbounded (the recency index is still
+    maintained, so a bound can be applied later with
+    :meth:`enforce_limit` or ``python -m repro cache --prune``).
+    """
 
     root: pathlib.Path
     enabled: bool = True
+    max_bytes: int | None = None
     stats: CacheStats = field(default_factory=CacheStats)
     _writable: bool | None = field(default=None, repr=False)
+    #: In-memory working copy of the LRU index (lazy-loaded) and its
+    #: deferred-write flag: hits only touch memory, writes persist.
+    _index: dict | None = field(default=None, repr=False)
+    _dirty: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
         self.root = pathlib.Path(self.root).expanduser()
 
     @classmethod
     def default(cls, enabled: bool = True) -> "ResultCache":
-        """Cache at ``$REPRO_CACHE_DIR`` / XDG / ``~/.cache/repro``."""
-        return cls(root=default_cache_root(), enabled=enabled)
+        """Cache at ``$REPRO_CACHE_DIR`` / XDG / ``~/.cache/repro``,
+        bounded by ``$REPRO_CACHE_MAX_BYTES`` when set."""
+        return cls(root=default_cache_root(), enabled=enabled,
+                   max_bytes=cache_max_bytes())
 
     @property
     def version_dir(self) -> pathlib.Path:
@@ -122,8 +172,10 @@ class ResultCache:
                 path.unlink()
             except OSError:
                 pass
+            self._forget(key)
             return MISS
         self.stats.hits += 1
+        self._touch(key, path)
         return value
 
     # -- write ---------------------------------------------------------
@@ -158,7 +210,153 @@ class ResultCache:
             return False
         self._writable = True
         self.stats.writes += 1
+        self._account(key)
         return True
+
+    # -- LRU index -----------------------------------------------------
+    #
+    # ``index.json`` maps entry key -> {"size": bytes, "used": clock}
+    # plus a monotonically increasing logical "clock".  All updates are
+    # written to a temp file and atomically renamed into place, so a
+    # reader never sees a half-written index; any parse or shape problem
+    # falls back to a rebuild from the directory itself.
+    #
+    # Hit bookkeeping is write-behind: the instance mutates an in-memory
+    # working copy and persists it on the next write, on
+    # :meth:`enforce_limit`, or on an explicit :meth:`flush` (the runner
+    # flushes at the end of every batch) — a pure-read path never pays a
+    # per-hit index rewrite.
+
+    def _index_path(self) -> pathlib.Path:
+        return self.version_dir / INDEX_NAME
+
+    def _index_data(self) -> dict:
+        """The in-memory working index (loaded from disk on first use)."""
+        if self._index is None:
+            self._index = self._load_index()
+        return self._index
+
+    def _load_index(self) -> dict:
+        try:
+            data = json.loads(self._index_path().read_text("utf-8"))
+            clock = int(data["clock"])
+            entries = data["entries"]
+            if not isinstance(entries, dict):
+                raise ValueError("index entries must be a mapping")
+            for meta in entries.values():
+                int(meta["size"]), int(meta["used"])
+        except FileNotFoundError:
+            return self._rebuild_index(persist=False)
+        except Exception:
+            # Corrupted/garbled index: never trust it, rebuild from disk.
+            return self._rebuild_index(persist=True)
+        return {"clock": clock, "entries": entries}
+
+    def _rebuild_index(self, persist: bool = True) -> dict:
+        """Reconstruct bookkeeping from the entries themselves.
+
+        Recency is approximated by file mtime — good enough to resume a
+        sane LRU order after an index loss or corruption.  ``persist``
+        replaces a corrupt on-disk index immediately; a merely missing
+        one is recreated lazily by the next write.
+        """
+        records = []
+        try:
+            for path in self.version_dir.glob("*.pkl"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                records.append((stat.st_mtime, path.stem, stat.st_size))
+        except OSError:
+            records = []
+        records.sort()
+        entries = {key: {"size": size, "used": order}
+                   for order, (_, key, size) in enumerate(records, start=1)}
+        index = {"clock": len(records), "entries": entries}
+        if persist and records:
+            self._save_index(index)
+        return index
+
+    def _save_index(self, index: dict) -> None:
+        directory = self.version_dir
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(index, handle, separators=(",", ":"))
+                os.replace(tmp_name, self._index_path())
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass  # bookkeeping is best-effort; entries stay valid
+
+    def _touch(self, key: str, path: pathlib.Path) -> None:
+        """Mark ``key`` most-recently-used (in memory; persisted later)."""
+        index = self._index_data()
+        index["clock"] += 1
+        entry = index["entries"].get(key)
+        if entry is None:
+            try:
+                size = path.stat().st_size
+            except OSError:
+                return
+            entry = index["entries"][key] = {"size": size}
+        entry["used"] = index["clock"]
+        self._dirty = True
+
+    def _account(self, key: str) -> None:
+        """Record a fresh write, then evict down to ``max_bytes``."""
+        index = self._index_data()
+        index["clock"] += 1
+        try:
+            size = self._path(key).stat().st_size
+        except OSError:
+            return
+        index["entries"][key] = {"size": size, "used": index["clock"]}
+        self._evict_over_limit(index)
+        self._save_index(index)
+        self._dirty = False
+
+    def _forget(self, key: str) -> None:
+        """Drop ``key`` from the index (its entry file is already gone)."""
+        index = self._index_data()
+        if index["entries"].pop(key, None) is not None:
+            self._dirty = True
+
+    def flush(self) -> None:
+        """Persist deferred hit-recency updates (no-op when clean)."""
+        if self._dirty and self._index is not None:
+            self._save_index(self._index)
+            self._dirty = False
+
+    def _evict_over_limit(self, index: dict) -> list[tuple[str, int]]:
+        """Evict least-recently-used entries until the bound is met.
+
+        Mutates ``index`` in place (caller persists it) and returns the
+        evicted ``(key, size)`` pairs, oldest first.  The newest entry is
+        evicted last — only when it alone exceeds the bound.
+        """
+        evicted: list[tuple[str, int]] = []
+        if self.max_bytes is None:
+            return evicted
+        entries = index["entries"]
+        total = sum(int(meta["size"]) for meta in entries.values())
+        while total > self.max_bytes and entries:
+            key = min(entries, key=lambda k: int(entries[k]["used"]))
+            size = int(entries.pop(key)["size"])
+            total -= size
+            try:
+                self._path(key).unlink()
+            except OSError:
+                pass  # already gone: the byte accounting still shrinks
+            evicted.append((key, size))
+        return evicted
 
     # -- maintenance ---------------------------------------------------
 
@@ -167,6 +365,33 @@ class ResultCache:
             return sum(1 for _ in self.version_dir.glob("*.pkl"))
         except OSError:
             return 0
+
+    def total_bytes(self) -> int:
+        """Total payload bytes of the current version (excludes index)."""
+        total = 0
+        try:
+            for path in self.version_dir.glob("*.pkl"):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    pass
+        except OSError:
+            pass
+        return total
+
+    def enforce_limit(self) -> list[tuple[str, int]]:
+        """Apply the LRU byte bound now; returns evicted ``(key, size)``.
+
+        This is the offline arm of the same policy :meth:`put` applies
+        inline — ``python -m repro cache --prune`` calls it so a freshly
+        lowered ``$REPRO_CACHE_MAX_BYTES`` takes effect immediately.
+        """
+        index = self._index_data()
+        evicted = self._evict_over_limit(index)
+        if evicted or self._dirty:
+            self._save_index(index)
+            self._dirty = False
+        return evicted
 
     def prune_stale(self) -> int:
         """Delete version directories other than the current one."""
@@ -191,11 +416,18 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        try:
+            self._index_path().unlink()
+        except OSError:
+            pass
+        self._index = {"clock": 0, "entries": {}}
+        self._dirty = False
         return removed
 
 
 def _rmtree(directory: pathlib.Path) -> int:
-    """Best-effort recursive delete; returns number of files removed."""
+    """Best-effort recursive delete; returns number of *entries* removed
+    (``.pkl`` payloads — bookkeeping files are deleted but not counted)."""
     removed = 0
     for path in sorted(directory.rglob("*"), reverse=True):
         try:
@@ -203,7 +435,8 @@ def _rmtree(directory: pathlib.Path) -> int:
                 path.rmdir()
             else:
                 path.unlink()
-                removed += 1
+                if path.suffix == ".pkl":
+                    removed += 1
         except OSError:
             pass
     try:

@@ -5,6 +5,11 @@ scripts, the benchmark conftest) takes the same two knobs — worker count
 and on-disk cache opt-out.  Defining the argparse arguments and the
 runner construction once keeps their validation and semantics from
 drifting across entry points.
+
+The cache built here honors ``$REPRO_CACHE_MAX_BYTES``
+(:meth:`ResultCache.default`): per-trace sharding multiplies entry
+counts, so bounded deployments evict least-recently-used shards instead
+of growing without limit.
 """
 
 from __future__ import annotations

@@ -3,10 +3,13 @@
 Each :class:`~repro.engine.jobs.Job` kind maps to one module-level
 function so jobs execute identically in-process (the serial fallback) and
 inside ``ProcessPoolExecutor`` workers (module-level functions pickle by
-qualified name).  Trace populations are regenerated from their
-deterministic specs and memoized per process, so parallel workers never
-ship trace objects across the pipe and serial runs share one population
-exactly like the legacy harness did.
+qualified name).  Population kinds arrive here as per-trace *shards*
+(``job.trace`` set) — the runner splits populations before submission —
+but the legacy whole-population path is kept for direct
+:func:`execute_job` calls.  Traces and populations are regenerated from
+their deterministic specs and memoized per process, so parallel workers
+never ship trace objects across the pipe and serial runs share one
+population exactly like the legacy harness did.
 
 This module deliberately imports only the simulator layers (circuits,
 pipeline, workloads, baselines) at module scope — :mod:`repro.analysis`
@@ -30,7 +33,7 @@ from repro.memory.hierarchy import MemoryConfig, MemorySystem
 from repro.pipeline.core import CoreSetup, InOrderCore
 from repro.pipeline.resources import PipelineParams
 from repro.workloads.trace import Trace
-from repro.engine.jobs import Job, TracePopulationSpec
+from repro.engine.jobs import Job, TracePopulationSpec, TraceSpec
 
 if TYPE_CHECKING:  # layering: analysis imports resolve lazily at runtime
     from repro.analysis.metrics import PointResult
@@ -42,17 +45,33 @@ if TYPE_CHECKING:  # layering: analysis imports resolve lazily at runtime
 _POPULATIONS: "OrderedDict[TracePopulationSpec, list[Trace]]" = OrderedDict()
 _POPULATIONS_MAX = 4
 
+#: Per-process memo of single traces (the shard execution path): a worker
+#: receiving several shards of the same trace at different (Vcc, scheme)
+#: points regenerates it once.  Bounded LRU like the population memo.
+_TRACES: "OrderedDict[TraceSpec, Trace]" = OrderedDict()
+_TRACES_MAX = 16
+
+
+def _memoized_build(store: OrderedDict, limit: int, spec):
+    """Bounded-LRU memo over deterministic ``spec.build()`` results."""
+    value = store.get(spec)
+    if value is None:
+        value = store[spec] = spec.build()
+        while len(store) > limit:
+            store.popitem(last=False)
+    else:
+        store.move_to_end(spec)
+    return value
+
 
 def population_for(spec: TracePopulationSpec) -> list[Trace]:
     """The (per-process memoized) trace population of ``spec``."""
-    traces = _POPULATIONS.get(spec)
-    if traces is None:
-        traces = _POPULATIONS[spec] = spec.build()
-        while len(_POPULATIONS) > _POPULATIONS_MAX:
-            _POPULATIONS.popitem(last=False)
-    else:
-        _POPULATIONS.move_to_end(spec)
-    return traces
+    return _memoized_build(_POPULATIONS, _POPULATIONS_MAX, spec)
+
+
+def trace_for(spec: TraceSpec) -> Trace:
+    """The (per-process memoized) single trace of ``spec``."""
+    return _memoized_build(_TRACES, _TRACES_MAX, spec)
 
 
 def warm_caches(memory: MemorySystem, trace: Trace) -> None:
@@ -105,11 +124,24 @@ def _solver_for(job: Job) -> FrequencySolver:
 
 def _run_population(job: Job, point, setup: CoreSetup, scheme_name: str,
                     memory_mutator=None):
-    """Run the job's population under ``setup`` at ``point``."""
+    """Run the job's trace(s) under ``setup`` at ``point``.
+
+    A shard job (``trace`` set, ``population`` empty) runs exactly one
+    trace and returns a one-trace result; the runner concatenates shard
+    results back into the population result (see
+    :func:`repro.engine.jobs.aggregate_shard_results`).  A legacy
+    whole-population job loops over every trace inline.  Each trace gets
+    a fresh core either way, so the two paths are bit-identical.
+    """
     from repro.analysis.metrics import PointResult
 
-    if job.population is None:
-        raise ConfigError(f"{job.kind} job needs a trace population")
+    if job.trace is not None:
+        traces = [trace_for(job.trace)]
+    elif job.population is not None:
+        traces = population_for(job.population)
+    else:
+        raise ConfigError(f"{job.kind} job needs a trace population "
+                          f"or a trace spec")
     dram_latency_ns = job.option("dram_latency_ns",
                                  constants.DRAM_LATENCY_NS)
     base_memory = job.option("memory") or MemoryConfig()
@@ -119,7 +151,7 @@ def _run_population(job: Job, point, setup: CoreSetup, scheme_name: str,
                          dram_latency_ns))
     results = []
     extras: dict[str, float] = {}
-    for trace in population_for(job.population):
+    for trace in traces:
         core = InOrderCore(replace(setup, memory=memory))
         if memory_mutator is not None:
             extras = dict(memory_mutator(core.memory) or {})

@@ -1,4 +1,4 @@
-"""Declarative experiment jobs and their canonical cache keys.
+"""Declarative experiment jobs, per-trace shards and canonical cache keys.
 
 A :class:`Job` is a frozen, picklable value describing **one** evaluation:
 which kind of experiment to run (``sweep-point``, ``faulty-bits``,
@@ -13,6 +13,23 @@ dataclasses such as :class:`~repro.pipeline.resources.PipelineParams` or
 JSON token tree and hashed.  Floats are keyed by ``repr`` (exact bits),
 enums by their value, dataclasses field-by-field, so the key is stable
 across processes and Python runs.
+
+Sharding
+--------
+Population jobs (the kinds in :data:`SHARDABLE_KINDS`) are never executed
+whole: :func:`shard_jobs` splits them into one shard per trace — the same
+job with ``population`` replaced by that trace's :class:`TraceSpec` — and
+:func:`aggregate_shard_results` reduces the shard results back into the
+population-level result.  The unit of execution *and* caching is therefore
+a single (trace, Vcc, scheme, config) point: shard keys derive from the
+trace spec, so adding a trace to a population re-simulates only the new
+trace, and a few-point/many-trace grid keeps every worker busy.
+
+Aggregation contract: shards are listed in population order
+(:meth:`TracePopulationSpec.trace_specs`), each shard result carries a
+one-trace ``results`` tuple, and the reduction concatenates those tuples
+in shard order — bit-identical to the legacy loop that ran the whole
+population inside one job, regardless of shard *completion* order.
 """
 
 from __future__ import annotations
@@ -33,6 +50,13 @@ KNOWN_KINDS = (
     "extra-bypass",
     "dvfs-schedule",
     "engine-selftest-crash",
+)
+
+#: Population kinds that split into per-trace shards (see :func:`shard_jobs`).
+SHARDABLE_KINDS = (
+    "sweep-point",
+    "faulty-bits",
+    "extra-bypass",
 )
 
 
@@ -61,6 +85,21 @@ class TracePopulationSpec:
 
         return generate_population(self.profiles, self.seeds_per_profile,
                                    self.trace_length)
+
+    def trace_specs(self) -> "tuple[TraceSpec, ...]":
+        """Per-trace recipes, in population order (profiles x seeds).
+
+        ``[spec.build() for spec in population.trace_specs()]`` produces
+        exactly the traces of :meth:`build`, in the same order — each
+        generator is seeded independently, so a single trace can be
+        rebuilt without generating the rest of the population.  This
+        ordering is the aggregation contract of :func:`shard_jobs`.
+        """
+        return tuple(
+            TraceSpec(source="synthetic", profile=profile, seed=seed,
+                      length=self.trace_length)
+            for profile in self.profiles
+            for seed in range(self.seeds_per_profile))
 
 
 @dataclass(frozen=True)
@@ -107,6 +146,13 @@ class TraceSpec:
 
         generator = SyntheticTraceGenerator(self.profile, seed=self.seed)
         return generator.generate(self.length)
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity (matches the built trace's name)."""
+        if self.source == "kernel":
+            return f"{self.kernel}/n{self.size}"
+        return f"{self.profile.name}/seed{self.seed}"
 
 
 @dataclass(frozen=True)
@@ -166,6 +212,8 @@ class Job:
         bits = [self.kind]
         if self.vcc_mv:
             bits.append(f"{self.scheme}@{self.vcc_mv:g}mV")
+        if self.trace is not None:
+            bits.append(f"trace={self.trace.label}")
         if self.iraw_overrides:
             bits.append(",".join(f"{k}={v}" for k, v in self.iraw_overrides))
         return " ".join(bits)
@@ -175,6 +223,49 @@ def _sorted_pairs(pairs) -> tuple:
     """Normalize a dict or pair-iterable into sorted ``(str, value)`` pairs."""
     items = [(str(k), v) for k, v in dict(pairs).items()]
     return tuple(sorted(items, key=lambda kv: kv[0]))
+
+
+# ----------------------------------------------------------------------
+# Per-trace sharding
+# ----------------------------------------------------------------------
+
+def shard_jobs(job: Job) -> tuple[Job, ...] | None:
+    """Split a population job into per-trace shards (``None`` if atomic).
+
+    Each shard is the parent job with ``population`` replaced by one
+    trace's :class:`TraceSpec`, so its canonical key derives from the
+    trace recipe and stays stable no matter which population the trace
+    appears in.  Jobs that already target a single trace (DVFS schedules,
+    shards themselves) and kinds outside :data:`SHARDABLE_KINDS` are
+    atomic units of execution.
+    """
+    if job.kind not in SHARDABLE_KINDS:
+        return None
+    if job.population is None or job.trace is not None:
+        return None
+    return tuple(
+        dataclasses.replace(job, population=None, trace=spec)
+        for spec in job.population.trace_specs())
+
+
+def aggregate_shard_results(job: Job, shard_results):
+    """Reduce per-trace shard results to the population-level result.
+
+    Every shard of a population job returns the population result type
+    with a one-trace ``results`` tuple; the reduction concatenates those
+    tuples in shard (= population) order and keeps the last shard's
+    ``extras`` — exactly what the legacy whole-population loop produced,
+    where the per-core extras variable was overwritten on every trace.
+    The operating ``point`` is recomputed identically by every shard, so
+    the first shard's copy is authoritative.
+    """
+    shard_results = list(shard_results)
+    if not shard_results:
+        raise ConfigError(f"job '{job.label}' produced no shard results")
+    merged = tuple(result for shard in shard_results
+                   for result in shard.results)
+    return dataclasses.replace(shard_results[0], results=merged,
+                               extras=shard_results[-1].extras)
 
 
 # ----------------------------------------------------------------------

@@ -10,6 +10,17 @@
    bit-identical to the legacy inline loops) or across a
    ``ProcessPoolExecutor``.
 
+Population jobs are split into **per-trace shards** before execution
+(:func:`~repro.engine.jobs.shard_jobs`): the unit of work and of on-disk
+caching is a single (trace, Vcc, scheme, config) point, so a grid with
+few points and many traces still saturates every worker, and growing a
+population re-simulates only the traces that are actually new.  Shard
+results are reduced back into the population result in population order
+(:func:`~repro.engine.jobs.aggregate_shard_results`) — deterministic no
+matter which worker finished first — and the aggregate lives in the
+runner's memo only; the disk cache stores shards, never aggregates, so
+per-trace granularity cannot double the cache footprint.
+
 Duplicate jobs inside one batch are simulated once.  Results come back
 in submission order regardless of which worker finished first, so
 figure generators can ``zip`` them against their grid.
@@ -17,7 +28,9 @@ figure generators can ``zip`` them against their grid.
 Error model: with ``workers=1`` exceptions propagate unchanged (exactly
 like the legacy inline code); from worker processes they are re-raised
 as :class:`EngineError` chained to the original exception, and the rest
-of the batch is cancelled.
+of the batch is cancelled.  A crashed shard names its trace (via the
+job label) and its canonical job key, so the offending evaluation point
+can be rerun or purged from the cache directly.
 """
 
 from __future__ import annotations
@@ -28,7 +41,8 @@ from dataclasses import dataclass
 
 from repro.engine.cache import MISS, ResultCache
 from repro.engine.executors import execute_job
-from repro.engine.jobs import Job, job_key
+from repro.engine.jobs import Job, aggregate_shard_results, job_key, \
+    shard_jobs
 from repro.engine.progress import NullProgress
 
 
@@ -38,15 +52,23 @@ class EngineError(RuntimeError):
 
 @dataclass
 class EngineStats:
-    """Counters accumulated across every batch a runner executes."""
+    """Counters accumulated across every batch a runner executes.
+
+    ``submitted``/``memory_hits``/``deduplicated`` count the jobs handed
+    to :meth:`ParallelRunner.run`; ``disk_hits`` and ``simulated`` count
+    executable units — per-trace shards for population jobs — since those
+    are what the disk cache stores and the workers run.
+    """
 
     submitted: int = 0
     #: Jobs answered from this runner's own memo.
     memory_hits: int = 0
-    #: Jobs answered from the on-disk cache.
+    #: Jobs answered from the on-disk cache (shard granularity).
     disk_hits: int = 0
     #: Duplicate jobs inside one batch, collapsed to a single execution.
     deduplicated: int = 0
+    #: Population jobs split into per-trace shards.
+    sharded: int = 0
     #: Core simulations actually performed (the expensive part).
     simulated: int = 0
     errors: int = 0
@@ -94,24 +116,46 @@ class ParallelRunner:
         jobs = list(jobs)
         keys = [job_key(job) for job in jobs]
         self.stats.submitted += len(jobs)
+        #: Executable units still unknown: atomic jobs and shards.
         pending: dict[str, Job] = {}
+        #: Sharded population jobs awaiting reduction, in plan order.
+        plans: dict[str, tuple[Job, tuple[str, ...]]] = {}
         for job, key in zip(jobs, keys):
             if key in self._memo:
                 self.stats.memory_hits += 1
                 continue
-            if key in pending:
+            if key in pending or key in plans:
                 self.stats.deduplicated += 1
                 continue
-            if self.cache is not None:
-                value = self.cache.get(key)
-                if value is not MISS:
-                    self._memo[key] = value
-                    self.stats.disk_hits += 1
+            shards = shard_jobs(job)
+            if shards is None:
+                if not self._from_disk(key):
+                    pending[key] = job
+                continue
+            self.stats.sharded += 1
+            shard_keys = []
+            for shard in shards:
+                shard_key = job_key(shard)
+                shard_keys.append(shard_key)
+                if shard_key in self._memo or shard_key in pending:
                     continue
-            pending[key] = job
-        if pending:
-            self._execute(pending, label)
-        return [self._memo[key] for key in keys]
+                if not self._from_disk(shard_key):
+                    pending[shard_key] = shard
+            plans[key] = (job, tuple(shard_keys))
+        try:
+            if pending:
+                self._execute(pending, label)
+            for key, (job, shard_keys) in plans.items():
+                # Reduction order is the plan's population order, fixed
+                # at submission — shard completion order cannot
+                # influence it.
+                self._memo[key] = aggregate_shard_results(
+                    job, [self._memo[shard_key] for shard_key in shard_keys])
+            return [self._memo[key] for key in keys]
+        finally:
+            if self.cache is not None:
+                # Hit recency is write-behind; one index write per batch.
+                self.cache.flush()
 
     def run_one(self, job: Job):
         """Resolve a single job (memo/cache-aware)."""
@@ -120,6 +164,19 @@ class ParallelRunner:
     def cached_result(self, job: Job):
         """This runner's memoized result for ``job`` (or ``None``)."""
         return self._memo.get(job_key(job))
+
+    # -- resolution helpers --------------------------------------------
+
+    def _from_disk(self, key: str) -> bool:
+        """Memoize ``key`` from the on-disk cache; False on a miss."""
+        if self.cache is None:
+            return False
+        value = self.cache.get(key)
+        if value is MISS:
+            return False
+        self._memo[key] = value
+        self.stats.disk_hits += 1
+        return True
 
     # -- execution -----------------------------------------------------
 
@@ -147,7 +204,7 @@ class ParallelRunner:
                 self.stats.errors += 1
                 if wrap_errors:
                     raise EngineError(
-                        f"job '{job.label}' failed: {exc}") from exc
+                        _failure_message(job, key, exc)) from exc
                 raise  # serial fallback: legacy exception semantics
             self._record(key, result)
             self.progress.advance(done, total, label)
@@ -168,8 +225,9 @@ class ParallelRunner:
                 except Exception as exc:
                     self.stats.errors += 1
                     raise EngineError(
-                        f"job '{job.label}' failed in a worker "
-                        f"process: {exc}") from exc
+                        _failure_message(job, key, exc,
+                                         where="in a worker process")
+                    ) from exc
                 self._record(key, result)
                 done += 1
                 self.progress.advance(done, total, label)
@@ -187,3 +245,14 @@ class ParallelRunner:
         self._memo[key] = result
         if self.cache is not None:
             self.cache.put(key, result)
+
+
+def _failure_message(job: Job, key: str, exc: BaseException,
+                     where: str = "") -> str:
+    """Failure text naming the evaluation unit precisely.
+
+    The label already identifies the trace for shard jobs; the canonical
+    key lets the operator purge or re-run exactly the failed unit.
+    """
+    suffix = f" {where}" if where else ""
+    return f"job '{job.label}' (key {key}) failed{suffix}: {exc}"

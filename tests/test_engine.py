@@ -1,6 +1,7 @@
 """Tests of the experiment engine: jobs, cache, runner, integrations."""
 
 import importlib.util
+import json
 import pathlib
 import pickle
 
@@ -142,6 +143,170 @@ class TestResultCache:
         assert cache.entry_count() == 0
 
 
+class TestLruBound:
+    """$REPRO_CACHE_MAX_BYTES: byte-bounded store with LRU eviction."""
+
+    @staticmethod
+    def entry_size(cache: ResultCache, payload) -> int:
+        probe = ResultCache(root=cache.root / "probe")
+        probe.put("probe", payload)
+        return probe.total_bytes()
+
+    def test_eviction_respects_byte_bound(self, tmp_path):
+        unit = self.entry_size(ResultCache(root=tmp_path), "x" * 64)
+        cache = ResultCache(root=tmp_path, max_bytes=3 * unit)
+        for i in range(10):
+            assert cache.put(f"k{i}", "x" * 64)
+            assert cache.total_bytes() <= 3 * unit
+        assert cache.entry_count() == 3
+
+    def test_eviction_follows_recency_not_insertion(self, tmp_path):
+        unit = self.entry_size(ResultCache(root=tmp_path), "x" * 64)
+        cache = ResultCache(root=tmp_path, max_bytes=3 * unit)
+        for i in range(3):
+            cache.put(f"k{i}", "x" * 64)
+        assert cache.get("k0") == "x" * 64   # k0 becomes most recent
+        cache.put("k3", "x" * 64)            # evicts k1, the true LRU
+        assert cache.get("k1") is MISS
+        assert cache.get("k0") == "x" * 64
+        assert cache.get("k2") == "x" * 64
+        assert cache.get("k3") == "x" * 64
+
+    def test_single_oversized_entry_is_not_kept(self, tmp_path):
+        cache = ResultCache(root=tmp_path, max_bytes=8)
+        cache.put("big", "x" * 4096)
+        assert cache.total_bytes() <= 8
+        assert cache.get("big") is MISS
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(root=tmp_path)  # max_bytes=None
+        for i in range(20):
+            cache.put(f"k{i}", "x" * 256)
+        assert cache.entry_count() == 20
+
+    def test_survives_corrupted_index(self, tmp_path):
+        unit = self.entry_size(ResultCache(root=tmp_path), "x" * 64)
+        cache = ResultCache(root=tmp_path, max_bytes=4 * unit)
+        for i in range(3):
+            cache.put(f"k{i}", "x" * 64)
+        index = cache.version_dir / cache_module.INDEX_NAME
+        index.write_text("{not json at all", encoding="utf-8")
+        # A fresh instance (new process) reads the garbage, rebuilds,
+        # and keeps serving reads and bounded writes.
+        fresh = ResultCache(root=tmp_path, max_bytes=4 * unit)
+        assert fresh.get("k1") == "x" * 64
+        fresh.put("k3", "x" * 64)
+        assert fresh.entry_count() <= 4
+        assert fresh.total_bytes() <= 4 * unit
+
+    def test_corrupt_index_rebuild_preserves_mtime_recency(self, tmp_path):
+        import os as os_module
+
+        unit = self.entry_size(ResultCache(root=tmp_path), "x" * 64)
+        cache = ResultCache(root=tmp_path, max_bytes=2 * unit)
+        cache.put("old", "x" * 64)
+        cache.put("new", "x" * 64)
+        past = 1_000_000_000
+        os_module.utime(cache.version_dir / "old.pkl", (past, past))
+        (cache.version_dir / cache_module.INDEX_NAME).write_text("garbage")
+        fresh = ResultCache(root=tmp_path, max_bytes=2 * unit)
+        fresh.put("k2", "x" * 64)   # rebuild, then evict the oldest mtime
+        assert fresh.get("old") is MISS
+        assert fresh.get("new") == "x" * 64
+
+    def test_hit_recency_is_write_behind_until_flush(self, tmp_path):
+        unit = self.entry_size(ResultCache(root=tmp_path), "x" * 64)
+        cache = ResultCache(root=tmp_path, max_bytes=3 * unit)
+        for i in range(3):
+            cache.put(f"k{i}", "x" * 64)
+        assert cache.get("k0") == "x" * 64   # touch: memory only
+        cache.flush()                        # ...now persisted
+        fresh = ResultCache(root=tmp_path, max_bytes=3 * unit)
+        fresh.put("k3", "x" * 64)
+        assert fresh.get("k1") is MISS       # true LRU after the flush
+        assert fresh.get("k0") == "x" * 64
+        fresh.flush()
+        assert ResultCache(root=tmp_path).flush() is None  # clean no-op
+
+    def test_runner_flushes_hit_recency_per_batch(self, tmp_path):
+        sweep = tiny_sweep(ParallelRunner(cache=ResultCache(root=tmp_path)))
+        sweep.run_point(650.0, ClockScheme.BASELINE)
+        reader = ResultCache(root=tmp_path)
+        runner = ParallelRunner(cache=reader)
+        tiny_sweep(runner).run_point(650.0, ClockScheme.BASELINE)
+        assert runner.stats.simulated == 0   # pure disk-hit batch
+        index = json.loads(
+            (reader.version_dir / cache_module.INDEX_NAME).read_text())
+        clocks = [meta["used"] for meta in index["entries"].values()]
+        assert max(clocks) == index["clock"] > 1  # hit recency persisted
+
+    def test_enforce_limit_reports_what_it_deleted(self, tmp_path):
+        unit = self.entry_size(ResultCache(root=tmp_path), "x" * 64)
+        cache = ResultCache(root=tmp_path)
+        for i in range(5):
+            cache.put(f"k{i}", "x" * 64)
+        bounded = ResultCache(root=tmp_path, max_bytes=2 * unit)
+        evicted = bounded.enforce_limit()
+        assert [key for key, _ in evicted] == ["k0", "k1", "k2"]
+        assert all(size > 0 for _, size in evicted)
+        assert {p.stem for p in bounded.version_dir.glob("*.pkl")} \
+            == {"k3", "k4"}
+        assert bounded.enforce_limit() == []  # idempotent once under bound
+
+    def test_max_bytes_env_parsing(self, monkeypatch):
+        from repro.engine.cache import cache_max_bytes
+
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+        assert cache_max_bytes() is None
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "1048576")
+        assert cache_max_bytes() == 1048576
+        assert ResultCache.default().max_bytes == 1048576
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "0")
+        assert cache_max_bytes() is None
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "lots")
+        with pytest.warns(RuntimeWarning, match="non-integer"):
+            assert cache_max_bytes() is None
+
+
+class TestCachePruneCli:
+    def test_prune_output_matches_what_was_deleted(self, tmp_path,
+                                                   monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = ResultCache(root=tmp_path)
+        for i in range(4):
+            cache.put(f"k{i}", "x" * 64)
+        per_entry = cache.total_bytes() // 4
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", str(2 * per_entry))
+
+        before = {p.stem for p in cache.version_dir.glob("*.pkl")}
+        assert main(["cache", "--prune"]) == 0
+        after = {p.stem for p in cache.version_dir.glob("*.pkl")}
+
+        out = capsys.readouterr().out
+        listed = [line.split()[1] for line in out.splitlines()
+                  if line.startswith("evicted ") and "bytes)" in line]
+        assert sorted(listed) == sorted(before - after)
+        assert listed == ["k0", "k1"]  # oldest first
+        assert "2 entries over the" in out
+        assert f"bound: {2 * per_entry} bytes" in out
+
+    def test_prune_unbounded_reports_nothing_evicted(self, tmp_path,
+                                                     monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+        ResultCache(root=tmp_path).put("k", "x" * 64)
+        assert main(["cache", "--prune"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted" not in out
+        assert "bound: unbounded" in out
+        assert (tmp_path / ResultCache(root=tmp_path).version_dir.name
+                / "k.pkl").exists()
+
+
 class TestRunnerSerial:
     def test_memoizes_identical_jobs(self):
         sweep = tiny_sweep()
@@ -260,6 +425,110 @@ class TestParallelExecution:
         assert [p.cycles for p in batched.phases] \
             == [p.cycles for p in direct.phases]
         assert batched.total_time_s == direct.total_time_s
+
+
+class TestEngineKnobs:
+    """The shared --workers/--no-cache wiring of every front end."""
+
+    def test_worker_count_validation(self):
+        import argparse
+
+        from repro.engine.cli import worker_count
+
+        assert worker_count("4") == 4
+        assert worker_count("0") == 0
+        with pytest.raises(argparse.ArgumentTypeError, match="integer"):
+            worker_count("many")
+        with pytest.raises(argparse.ArgumentTypeError, match=">= 0"):
+            worker_count("-1")
+
+    def test_build_runner_honors_no_cache(self, monkeypatch, tmp_path):
+        from repro.engine import build_runner
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "4096")
+        hermetic = build_runner(workers=1, no_cache=True)
+        assert hermetic.cache is None
+        cached = build_runner(workers=2, no_cache=False)
+        assert cached.workers == 2
+        assert cached.cache.root == tmp_path
+        assert cached.cache.max_bytes == 4096
+
+    def test_add_engine_arguments_roundtrip(self):
+        import argparse
+
+        from repro.engine import add_engine_arguments, runner_from_args
+
+        parser = argparse.ArgumentParser()
+        add_engine_arguments(parser)
+        args = parser.parse_args(["--workers", "3", "--no-cache"])
+        runner = runner_from_args(args)
+        assert runner.workers == 3
+        assert runner.cache is None
+
+    def test_stats_hits_totals_both_tiers(self):
+        from repro.engine import EngineStats
+
+        stats = EngineStats(memory_hits=2, disk_hits=3)
+        assert stats.hits == 5
+
+
+class TestTextProgress:
+    class Stream:
+        def __init__(self):
+            self.chunks = []
+
+        def write(self, text):
+            self.chunks.append(text)
+
+        def flush(self):
+            pass
+
+    def test_reports_batch_progress(self):
+        from repro.engine import TextProgress
+
+        stream = self.Stream()
+        progress = TextProgress(stream=stream)
+        progress.start(3, "sweep")
+        progress.advance(1, 3, "sweep")
+        progress.advance(3, 3, "sweep")
+        progress.finish(3, "sweep")
+        text = "".join(stream.chunks)
+        assert "0/3 sweep" in text
+        assert "1/3 sweep" in text
+        assert "3/3 sweep" in text
+
+    def test_small_batches_stay_silent(self):
+        from repro.engine import TextProgress
+
+        stream = self.Stream()
+        progress = TextProgress(stream=stream, min_total=2)
+        progress.start(1, "one")
+        progress.advance(1, 1, "one")
+        progress.finish(1, "one")
+        assert stream.chunks == []
+
+    def test_broken_stream_goes_silent(self):
+        from repro.engine import TextProgress
+
+        class Broken:
+            def write(self, text):
+                raise OSError("gone")
+
+            def flush(self):  # pragma: no cover - never reached
+                pass
+
+        progress = TextProgress(stream=Broken())
+        progress.start(5, "x")  # must not raise
+        progress.advance(1, 5, "x")
+        progress.finish(5, "x")
+
+
+class TestStableTokenContainers:
+    def test_dicts_and_sets_tokenize_deterministically(self):
+        a = stable_token({"b": 2, "a": frozenset({3, 1})})
+        b = stable_token({"a": frozenset({1, 3}), "b": 2})
+        assert a == b
 
 
 class TestBenchConftest:

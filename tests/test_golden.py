@@ -1,0 +1,130 @@
+"""Golden-result regression suite for the sharded engine.
+
+Small JSON goldens for Table 1 and one Figure 11(b) slice, generated at
+``workers=1`` (the bit-identical serial path) on a fixed two-trace
+population, lock down the per-trace sharding refactor: any change to the
+shard split, the aggregation order, or the executors that shifts a single
+cycle count shows up as a golden diff.
+
+Serial and parallel runs must both reproduce the goldens.  Integer
+fields (cycle and instruction counts) are compared exactly; floats are
+compared to 1e-12 relative — bit-identical in practice, with the
+tolerance only guarding libm variation across platforms.
+
+Regenerate (after an *intentional* simulator change) with::
+
+    PYTHONPATH=src python tests/test_golden.py --regen
+"""
+
+import json
+import math
+import pathlib
+
+import pytest
+
+from repro.analysis.sweep import SweepSettings, VccSweep
+from repro.analysis.table1 import build_table1
+from repro.engine import ParallelRunner, ResultCache
+from repro.workloads.profiles import KERNEL_LIKE, SPECINT_LIKE
+
+pytestmark = pytest.mark.engine
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+#: The golden population: two profiles, one seed each, short traces —
+#: big enough to exercise aggregation across traces, small enough that
+#: every CI matrix leg can afford the regeneration.
+GOLDEN_SETTINGS = SweepSettings(profiles=(KERNEL_LIKE, SPECINT_LIKE),
+                                trace_length=600)
+GOLDEN_VCC = 500.0
+
+
+def compute_artifacts(runner: ParallelRunner | None = None) -> dict:
+    """Regenerate both golden artifacts through one sweep/runner."""
+    sweep = VccSweep(GOLDEN_SETTINGS, runner=runner)
+    return {
+        "table1": build_table1(sweep, GOLDEN_VCC),
+        "fig11b_500mv": sweep.compare(GOLDEN_VCC),
+    }
+
+
+def load_golden(name: str):
+    return json.loads((GOLDEN_DIR / f"{name}.json").read_text("utf-8"))
+
+
+def assert_matches_golden(actual, golden, path: str = "") -> None:
+    """Structural equality: ints/strings/bools exact, floats to 1e-12."""
+    if isinstance(golden, dict):
+        assert isinstance(actual, dict), f"{path}: expected mapping"
+        assert sorted(actual) == sorted(golden), f"{path}: key set differs"
+        for key in golden:
+            assert_matches_golden(actual[key], golden[key], f"{path}.{key}")
+    elif isinstance(golden, list):
+        assert isinstance(actual, list), f"{path}: expected list"
+        assert len(actual) == len(golden), f"{path}: length differs"
+        for i, (a, g) in enumerate(zip(actual, golden)):
+            assert_matches_golden(a, g, f"{path}[{i}]")
+    elif isinstance(golden, bool):
+        assert actual is golden, f"{path}: {actual!r} != {golden!r}"
+    elif isinstance(golden, float):
+        assert isinstance(actual, float), f"{path}: expected float"
+        assert math.isclose(actual, golden, rel_tol=1e-12, abs_tol=1e-15), \
+            f"{path}: {actual!r} != {golden!r}"
+    else:
+        assert actual == golden, f"{path}: {actual!r} != {golden!r}"
+
+
+class TestGoldenSerial:
+    """The default serial runner must reproduce the checked-in numbers."""
+
+    def test_table1_matches_golden(self):
+        artifacts = compute_artifacts()
+        assert_matches_golden(artifacts["table1"], load_golden("table1"),
+                              "table1")
+
+    def test_fig11b_slice_matches_golden(self):
+        artifacts = compute_artifacts()
+        assert_matches_golden(artifacts["fig11b_500mv"],
+                              load_golden("fig11b_500mv"), "fig11b_500mv")
+
+
+class TestGoldenSharded:
+    """Sharded/parallel execution must aggregate to the same numbers."""
+
+    def test_parallel_run_reproduces_goldens(self, tmp_path):
+        runner = ParallelRunner(workers=2,
+                                cache=ResultCache(root=tmp_path))
+        artifacts = compute_artifacts(runner)
+        assert runner.stats.sharded > 0  # population jobs really split
+        assert_matches_golden(artifacts["table1"], load_golden("table1"),
+                              "table1")
+        assert_matches_golden(artifacts["fig11b_500mv"],
+                              load_golden("fig11b_500mv"), "fig11b_500mv")
+
+    def test_warm_cache_run_reproduces_goldens(self, tmp_path):
+        cold = ParallelRunner(workers=2, cache=ResultCache(root=tmp_path))
+        compute_artifacts(cold)
+        warm = ParallelRunner(workers=1, cache=ResultCache(root=tmp_path))
+        artifacts = compute_artifacts(warm)
+        assert warm.stats.simulated == 0  # every shard served from disk
+        assert_matches_golden(artifacts["table1"], load_golden("table1"),
+                              "table1")
+
+
+def _regenerate() -> None:  # pragma: no cover - maintenance entry point
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    artifacts = compute_artifacts()
+    for name, data in artifacts.items():
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regen" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)
