@@ -10,10 +10,11 @@ warning instead of failing the bench.
 The expensive Vcc-sweep points are shared through a session-scoped
 :func:`session_sweep` fixture backed by the experiment engine: each
 point shards into one job per trace, ``--workers N`` fans those shards
-across processes, and completed shards persist in the on-disk result
-cache (bounded by ``$REPRO_CACHE_MAX_BYTES``) so repeated bench runs
-skip finished simulations entirely (``--no-cache`` opts out, e.g. when
-the point is to time the simulator itself).
+across processes (or ``--backend queue --queue DIR`` spools them for
+detached ``repro worker`` processes), and completed shards persist in
+the on-disk result cache (bounded by ``$REPRO_CACHE_MAX_BYTES``) so
+repeated bench runs skip finished simulations entirely (``--no-cache``
+opts out, e.g. when the point is to time the simulator itself).
 """
 
 from __future__ import annotations
@@ -36,6 +37,7 @@ BENCH_TRACE_LENGTH = 6_000
 
 
 def pytest_addoption(parser):
+    from repro.engine.backends import BACKEND_NAMES
     from repro.engine.cli import worker_count
 
     group = parser.getgroup("repro engine")
@@ -45,6 +47,13 @@ def pytest_addoption(parser):
     group.addoption("--no-cache", action="store_true", default=False,
                     help="skip the on-disk result cache (time real "
                          "simulations instead of cached points)")
+    group.addoption("--backend", choices=BACKEND_NAMES, default=None,
+                    help="execution backend (default: serial for "
+                         "--workers 1, else pool; queue = detached "
+                         "'repro worker' processes)")
+    group.addoption("--queue", default=None, metavar="DIR",
+                    help="spool directory for --backend queue "
+                         "(default $REPRO_QUEUE_DIR)")
 
 
 def record_table(name: str, text: str) -> None:
@@ -68,7 +77,9 @@ def record_table(name: str, text: str) -> None:
 def engine_runner(pytestconfig) -> ParallelRunner:
     """One shared engine for every benchmark in the session."""
     return build_runner(workers=pytestconfig.getoption("--workers"),
-                        no_cache=pytestconfig.getoption("--no-cache"))
+                        no_cache=pytestconfig.getoption("--no-cache"),
+                        backend=pytestconfig.getoption("--backend"),
+                        queue_dir=pytestconfig.getoption("--queue"))
 
 
 @pytest.fixture(scope="session")

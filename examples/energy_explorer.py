@@ -9,10 +9,13 @@ execution time, energy and EDP — then answers two planning questions:
 * At a fixed performance target, how much energy does IRAW save?
 
 The whole (Vcc x scheme) grid is one engine batch sharded per trace:
-``--workers N`` runs the shards across N processes and the on-disk
-result cache makes re-exploration free (``--no-cache`` opts out).
+``--workers N`` runs the shards across N processes (or
+``--backend queue --queue DIR`` dispatches them to detached
+``repro worker`` processes) and the on-disk result cache makes
+re-exploration free (``--no-cache`` opts out).
 
 Run:  python examples/energy_explorer.py [--workers 4] [--no-cache]
+                                         [--backend serial|pool|queue]
 """
 
 import argparse

@@ -11,9 +11,13 @@ shards across N processes, and completed shards persist in the on-disk
 result cache (bounded by ``$REPRO_CACHE_MAX_BYTES`` when set), so a
 re-run (or the energy-explorer example on the same population) replays
 instantly and a grown population re-simulates only its new traces.
+``--backend queue --queue DIR`` spools the shards for detached
+``python -m repro worker --queue DIR`` processes instead — on this
+machine or any other sharing the directory.
 
 Run:  python examples/vcc_sweep.py [--step 50] [--length 6000]
                                    [--workers 4] [--no-cache]
+                                   [--backend serial|pool|queue]
 """
 
 import argparse

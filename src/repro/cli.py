@@ -9,6 +9,7 @@ Subcommands
 ``kernels``   list the built-in kernels
 ``calibrate`` re-run the circuit-model fit and report the anchors
 ``cache``     inspect or clear the on-disk result cache
+``worker``    run a queue-backend worker against a spool directory
 
 The simulation-backed subcommands (``figures``, ``compare``) run their
 evaluation points through the experiment engine: every point is sharded
@@ -18,11 +19,20 @@ per trace, ``--workers N`` spreads the shards across N processes (``0``
 given.  ``$REPRO_CACHE_MAX_BYTES`` bounds the cache; ``cache --prune``
 evicts least-recently-used entries beyond the bound and reclaims stale
 code versions.
+
+``--backend queue`` spools the shards through a filesystem broker
+(``--queue DIR`` or ``$REPRO_QUEUE_DIR``) instead of executing them
+in-process: start any number of ``python -m repro worker --queue DIR``
+processes — other terminals, other machines sharing the directory — and
+the runner collects their results, re-dispatching shards lost to
+crashed workers.  Configuration errors (bad spool or cache roots,
+unknown backends) exit with a one-line message and status 2.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis.figures import (
@@ -42,6 +52,8 @@ from repro.engine import (
     add_engine_arguments,
     runner_from_args,
 )
+from repro.engine.broker import QUEUE_DIR_ENV, SpoolBroker, worker_main
+from repro.errors import ConfigError
 from repro.memory.hierarchy import MemoryConfig
 from repro.pipeline.core import CoreSetup, InOrderCore
 from repro.workloads.kernels import KERNEL_BUILDERS, kernel_trace
@@ -112,6 +124,24 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="delete entries from stale code versions and "
                             "evict least-recently-used entries beyond "
                             "$REPRO_CACHE_MAX_BYTES")
+
+    worker = sub.add_parser(
+        "worker", help="run a queue-backend worker",
+        description="Claim per-trace shards from a spool directory "
+                    "(written by a '--backend queue' run), execute them "
+                    "and publish the results.  Run any number of these, "
+                    "on any machine that shares the directory.")
+    worker.add_argument("--queue", metavar="DIR", default=None,
+                        help=f"spool directory (default ${QUEUE_DIR_ENV})")
+    worker.add_argument("--concurrency", type=int, default=1, metavar="N",
+                        help="worker processes to run (default 1)")
+    worker.add_argument("--poll", type=float, default=0.2, metavar="S",
+                        help="seconds between claim attempts when idle")
+    worker.add_argument("--idle-exit", type=float, default=None, metavar="S",
+                        help="exit after S seconds with nothing to claim "
+                             "(default: serve forever)")
+    worker.add_argument("--max-shards", type=int, default=None, metavar="M",
+                        help="exit after executing M shards")
     return parser
 
 
@@ -215,8 +245,62 @@ def _cmd_calibrate() -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    root = args.queue or os.environ.get(QUEUE_DIR_ENV)
+    if args.concurrency < 1:
+        raise ConfigError(f"--concurrency must be >= 1 "
+                          f"(got {args.concurrency})")
+    if args.poll <= 0:
+        raise ConfigError(f"--poll must be positive seconds "
+                          f"(got {args.poll:g})")
+    if args.max_shards is not None and args.max_shards < 0:
+        raise ConfigError(f"--max-shards must be >= 0 "
+                          f"(got {args.max_shards})")
+    broker = SpoolBroker(root)  # validates the spool root eagerly
+    print(f"worker: serving spool {broker.spool}", file=sys.stderr)
+    if args.concurrency == 1:
+        completed, failed = worker_main(root, poll_interval=args.poll,
+                                        idle_exit=args.idle_exit,
+                                        max_shards=args.max_shards)
+        executed = (completed, failed)
+    else:
+        import multiprocessing
+
+        context = multiprocessing.get_context("spawn")
+        children = [
+            context.Process(target=worker_main, args=(root,),
+                            kwargs=dict(poll_interval=args.poll,
+                                        idle_exit=args.idle_exit,
+                                        max_shards=args.max_shards),
+                            daemon=False)
+            for _ in range(args.concurrency)]
+        for child in children:
+            child.start()
+        executed = None  # children report via the spool, not a pipe
+        for child in children:
+            child.join()
+        crashed = [child.exitcode for child in children if child.exitcode]
+        if crashed:
+            print(f"error: {len(crashed)} of {args.concurrency} worker "
+                  f"processes exited abnormally "
+                  f"(exit codes {sorted(set(crashed))})", file=sys.stderr)
+            return 1
+    if executed is not None:
+        completed, failed = executed
+        summary = f"worker: executed {completed} shard(s)"
+        if failed:
+            summary += f", {failed} failed"
+        print(summary)
+    else:
+        print(f"worker: {args.concurrency} worker processes exited")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     cache = ResultCache.default()
+    if cache.root.exists() and not cache.root.is_dir():
+        raise ConfigError(f"cache root {cache.root} exists but is not a "
+                          f"directory (check $REPRO_CACHE_DIR)")
     if args.prune:
         removed = cache.prune_stale()
         print(f"pruned {removed} entries from stale code versions")
@@ -238,8 +322,7 @@ def _cmd_cache(args) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _dispatch(args) -> int:
     if args.command == "figures":
         return _cmd_figures(args)
     if args.command == "compare":
@@ -254,7 +337,21 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_calibrate()
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     return 1  # pragma: no cover
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ConfigError as exc:
+        # Operator-facing configuration problems (bad $REPRO_QUEUE_DIR /
+        # $REPRO_CACHE_DIR roots, invalid knobs) exit cleanly instead of
+        # dumping a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

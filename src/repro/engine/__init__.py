@@ -19,6 +19,14 @@ and executes batches of them through a
   function that simulates it.  The same function runs in-process
   (``workers=1``, the bit-identical serial fallback) or inside a
   ``ProcessPoolExecutor`` worker.
+* **Backends** (:mod:`repro.engine.backends`) make the execution tier
+  pluggable: ``SerialBackend`` (inline), ``PoolBackend`` (process pool)
+  and ``QueueBackend`` — a fault-tolerant distributed backend on a
+  filesystem spool broker (:mod:`repro.engine.broker`) whose shards are
+  executed by detached ``python -m repro worker`` processes, with
+  rename-based leases, heartbeats and bounded re-dispatch of shards
+  lost to crashed workers.  All three are bit-identical on the same
+  batch.
 * **Caching** (:mod:`repro.engine.cache`) memoizes completed results in a
   content-addressed on-disk store (``$REPRO_CACHE_DIR`` or
   ``~/.cache/repro``) keyed by the job's canonical key under a fingerprint
@@ -37,6 +45,14 @@ Typical use::
     print(runner.stats)                 # hits / misses / simulations
 """
 
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    PoolBackend,
+    QueueBackend,
+    SerialBackend,
+    resolve_backend,
+)
+from repro.engine.broker import SpoolBroker, run_worker_loop
 from repro.engine.cache import ResultCache
 from repro.engine.cli import add_engine_arguments, build_runner, \
     runner_from_args
@@ -52,12 +68,17 @@ from repro.engine.progress import NullProgress, TextProgress
 from repro.engine.runner import EngineError, EngineStats, ParallelRunner
 
 __all__ = [
+    "BACKEND_NAMES",
     "EngineError",
     "EngineStats",
     "Job",
     "NullProgress",
     "ParallelRunner",
+    "PoolBackend",
+    "QueueBackend",
     "ResultCache",
+    "SerialBackend",
+    "SpoolBroker",
     "TextProgress",
     "TracePopulationSpec",
     "TraceSpec",
@@ -65,6 +86,8 @@ __all__ = [
     "aggregate_shard_results",
     "build_runner",
     "job_key",
+    "resolve_backend",
+    "run_worker_loop",
     "runner_from_args",
     "shard_jobs",
 ]

@@ -93,6 +93,16 @@ def code_fingerprint() -> str:
     return _FINGERPRINT
 
 
+def version_tag() -> str:
+    """Directory name binding on-disk artifacts to this exact code.
+
+    Shared by the result cache and the queue broker's spool: both must
+    rotate together, or a worker built from different code could serve
+    results the runner's cache would consider current.
+    """
+    return f"v{CACHE_SCHEMA_VERSION}-{code_fingerprint()}"
+
+
 def default_cache_root() -> pathlib.Path:
     """Resolve the cache root from the environment."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -144,7 +154,7 @@ class ResultCache:
 
     @property
     def version_dir(self) -> pathlib.Path:
-        return self.root / f"v{CACHE_SCHEMA_VERSION}-{code_fingerprint()}"
+        return self.root / version_tag()
 
     def _path(self, key: str) -> pathlib.Path:
         return self.version_dir / f"{key}.pkl"

@@ -19,6 +19,7 @@ which keeps ``import repro.engine`` acyclic.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import replace
 from typing import TYPE_CHECKING
@@ -51,16 +52,25 @@ _POPULATIONS_MAX = 4
 _TRACES: "OrderedDict[TraceSpec, Trace]" = OrderedDict()
 _TRACES_MAX = 16
 
+#: The queue backend's in-process workers run ``execute_job`` on
+#: threads, so the memo bookkeeping must be serialized.  Builds happen
+#: outside the lock: two threads racing on the same spec just build the
+#: same deterministic trace twice, which beats serializing generation.
+_MEMO_LOCK = threading.Lock()
+
 
 def _memoized_build(store: OrderedDict, limit: int, spec):
     """Bounded-LRU memo over deterministic ``spec.build()`` results."""
-    value = store.get(spec)
-    if value is None:
-        value = store[spec] = spec.build()
+    with _MEMO_LOCK:
+        value = store.get(spec)
+        if value is not None:
+            store.move_to_end(spec)
+            return value
+    value = spec.build()
+    with _MEMO_LOCK:
+        store[spec] = value
         while len(store) > limit:
             store.popitem(last=False)
-    else:
-        store.move_to_end(spec)
     return value
 
 
@@ -231,12 +241,31 @@ def _crash(job: Job):
     raise RuntimeError(f"injected engine crash ({job.option('note', '')})")
 
 
+def _sleep(job: Job):
+    """Test-only executor: controllable stall for queue fault drills.
+
+    The duration comes from ``$REPRO_SELFTEST_SLEEP_S`` when set (so a
+    test can make a detached worker hang without the duration leaking
+    into the job key), else the ``sleep_s`` option.  The result echoes
+    only the deterministic ``note`` so it stays cache-stable.
+    """
+    import os
+    import time
+
+    env = os.environ.get("REPRO_SELFTEST_SLEEP_S")
+    duration = float(env) if env else float(job.option("sleep_s", 0.0))
+    if duration > 0:
+        time.sleep(duration)
+    return {"note": job.option("note", "")}
+
+
 _EXECUTORS = {
     "sweep-point": _run_sweep_point,
     "faulty-bits": _run_faulty_bits,
     "extra-bypass": _run_extra_bypass,
     "dvfs-schedule": _run_dvfs_schedule,
     "engine-selftest-crash": _crash,
+    "engine-selftest-sleep": _sleep,
 }
 
 

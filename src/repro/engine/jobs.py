@@ -50,6 +50,7 @@ KNOWN_KINDS = (
     "extra-bypass",
     "dvfs-schedule",
     "engine-selftest-crash",
+    "engine-selftest-sleep",
 )
 
 #: Population kinds that split into per-trace shards (see :func:`shard_jobs`).

@@ -5,10 +5,14 @@
 1. **in-memory memo** — results already produced by this runner;
 2. **on-disk cache** — results persisted by any earlier run of the same
    code (see :mod:`repro.engine.cache`);
-3. **execution** — everything still pending, either inline
-   (``workers=1``, the deterministic serial fallback whose results are
-   bit-identical to the legacy inline loops) or across a
-   ``ProcessPoolExecutor``.
+3. **execution** — everything still pending, handed to the runner's
+   :mod:`execution backend <repro.engine.backends>`: inline
+   (:class:`~repro.engine.backends.SerialBackend`, the deterministic
+   fallback whose results are bit-identical to the legacy inline
+   loops), a ``ProcessPoolExecutor``
+   (:class:`~repro.engine.backends.PoolBackend`), or the distributed
+   work-queue broker (:class:`~repro.engine.backends.QueueBackend`,
+   shards executed by detached ``python -m repro worker`` processes).
 
 Population jobs are split into **per-trace shards** before execution
 (:func:`~repro.engine.jobs.shard_jobs`): the unit of work and of on-disk
@@ -25,22 +29,23 @@ Duplicate jobs inside one batch are simulated once.  Results come back
 in submission order regardless of which worker finished first, so
 figure generators can ``zip`` them against their grid.
 
-Error model: with ``workers=1`` exceptions propagate unchanged (exactly
-like the legacy inline code); from worker processes they are re-raised
-as :class:`EngineError` chained to the original exception, and the rest
-of the batch is cancelled.  A crashed shard names its trace (via the
-job label) and its canonical job key, so the offending evaluation point
-can be rerun or purged from the cache directly.
+Error model: on the serial backend exceptions propagate unchanged
+(exactly like the legacy inline code); from every other backend they are
+re-raised as :class:`EngineError` chained to the original exception, and
+the rest of the batch is cancelled.  A crashed shard names its trace
+(via the job label) and its canonical job key, so the offending
+evaluation point can be rerun or purged from the cache directly.  The
+queue backend retries transient failures first (bounded, counted in
+``stats.requeued``/``stats.retried``) and only surfaces permanent ones.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import os
 from dataclasses import dataclass
 
+from repro.engine.backends import ShardFailure, resolve_backend
 from repro.engine.cache import MISS, ResultCache
-from repro.engine.executors import execute_job
 from repro.engine.jobs import Job, aggregate_shard_results, job_key, \
     shard_jobs
 from repro.engine.progress import NullProgress
@@ -57,7 +62,12 @@ class EngineStats:
     ``submitted``/``memory_hits``/``deduplicated`` count the jobs handed
     to :meth:`ParallelRunner.run`; ``disk_hits`` and ``simulated`` count
     executable units — per-trace shards for population jobs — since those
-    are what the disk cache stores and the workers run.
+    are what the disk cache stores and the workers run.  ``requeued`` and
+    ``retried`` count the queue backend's fault recovery: every
+    re-dispatch of a shard (expired lease, quarantined result, failed
+    attempt with retry budget left) bumps ``requeued``, and each
+    *distinct* shard that needed more than one dispatch bumps ``retried``
+    once.
     """
 
     submitted: int = 0
@@ -71,6 +81,10 @@ class EngineStats:
     sharded: int = 0
     #: Core simulations actually performed (the expensive part).
     simulated: int = 0
+    #: Shard re-dispatch events (queue backend fault recovery).
+    requeued: int = 0
+    #: Distinct shards that needed more than one dispatch.
+    retried: int = 0
     errors: int = 0
 
     @property
@@ -79,14 +93,14 @@ class EngineStats:
 
 
 class ParallelRunner:
-    """Execute job batches with memoization and optional parallelism.
+    """Execute job batches with memoization and pluggable backends.
 
     Parameters
     ----------
     workers:
-        Process count.  ``1`` (default) runs jobs inline — deterministic,
-        no subprocesses, identical to the legacy serial loops.  ``0``
-        means "one per CPU".
+        Process count for the pool backend.  ``1`` (default) selects the
+        serial backend — deterministic, no subprocesses, identical to
+        the legacy serial loops.  ``0`` means "one per CPU".
     cache:
         A :class:`~repro.engine.cache.ResultCache`, or ``None`` to keep
         results only in memory (hermetic: nothing read from or written
@@ -94,11 +108,18 @@ class ParallelRunner:
     progress:
         Listener with the :class:`~repro.engine.progress.NullProgress`
         protocol.
+    backend:
+        Execution backend: ``None`` derives it from ``workers`` (serial
+        for 1, pool otherwise), a name from
+        :data:`~repro.engine.backends.BACKEND_NAMES`, or an
+        ``ExecutionBackend`` instance (e.g. a configured
+        :class:`~repro.engine.backends.QueueBackend`).
     """
 
     def __init__(self, workers: int = 1,
                  cache: ResultCache | None = None,
-                 progress=None):
+                 progress=None,
+                 backend=None):
         if workers == 0 or workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
@@ -106,6 +127,7 @@ class ParallelRunner:
         self.workers = int(workers)
         self.cache = cache
         self.progress = progress if progress is not None else NullProgress()
+        self.backend = resolve_backend(backend, workers=self.workers)
         self.stats = EngineStats()
         self._memo: dict[str, object] = {}
 
@@ -182,63 +204,40 @@ class ParallelRunner:
 
     def _execute(self, pending: dict[str, Job], label: str) -> None:
         total = len(pending)
+        backend = self.backend
+        requeued_before = self.stats.requeued
         self.progress.start(total, label)
+        failure = None
         try:
-            if self.workers == 1 or total == 1:
-                # A single pending job skips pool setup even on a
-                # multi-worker runner; errors still follow the runner's
-                # declared contract (wrapped unless workers == 1).
-                self._execute_serial(pending, label, total,
-                                     wrap_errors=self.workers > 1)
-            else:
-                self._execute_parallel(pending, label, total)
-        finally:
-            self.progress.finish(total, label)
-
-    def _execute_serial(self, pending: dict[str, Job], label: str,
-                        total: int, wrap_errors: bool = False) -> None:
-        for done, (key, job) in enumerate(pending.items(), start=1):
-            try:
-                result = execute_job(job)
-            except Exception as exc:
-                self.stats.errors += 1
-                if wrap_errors:
-                    raise EngineError(
-                        _failure_message(job, key, exc)) from exc
-                raise  # serial fallback: legacy exception semantics
-            self._record(key, result)
-            self.progress.advance(done, total, label)
-
-    def _execute_parallel(self, pending: dict[str, Job], label: str,
-                          total: int) -> None:
-        max_workers = min(self.workers, total)
-        done = 0
-        pool = concurrent.futures.ProcessPoolExecutor(
-            max_workers=max_workers)
-        try:
-            futures = {pool.submit(execute_job, job): (key, job)
-                       for key, job in pending.items()}
-            for future in concurrent.futures.as_completed(futures):
-                key, job = futures[future]
-                try:
-                    result = future.result()
-                except Exception as exc:
-                    self.stats.errors += 1
-                    raise EngineError(
-                        _failure_message(job, key, exc,
-                                         where="in a worker process")
-                    ) from exc
+            done = 0
+            for key, result in backend.execute(pending, self.stats):
                 self._record(key, result)
                 done += 1
-                self.progress.advance(done, total, label)
-        except BaseException:
-            # Surface the failure immediately: drop queued work and do
-            # not block on simulations already in flight (they finish in
-            # the background and are reaped at interpreter exit).
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
-        else:
-            pool.shutdown(wait=True)
+                self.progress.advance(done, total,
+                                      self._progress_label(label,
+                                                           requeued_before))
+        except ShardFailure as exc:
+            self.stats.errors += 1
+            failure = exc
+        finally:
+            self.progress.finish(total, label)
+        if failure is None:
+            return
+        if backend.wrap_errors:
+            raise EngineError(
+                _failure_message(failure.job, failure.key, failure.cause,
+                                 where=failure.where)) from failure.cause
+        # Serial contract: the original exception propagates unchanged —
+        # re-raised outside the except block so no ShardFailure plumbing
+        # pollutes the traceback chain.
+        raise failure.cause
+
+    def _progress_label(self, label: str, requeued_before: int) -> str:
+        """Surface this batch's fault recovery in the progress line."""
+        requeued = self.stats.requeued - requeued_before
+        if not requeued:
+            return label
+        return f"{label} [requeued {requeued}]".strip()
 
     def _record(self, key: str, result) -> None:
         self.stats.simulated += 1

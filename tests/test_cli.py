@@ -76,3 +76,32 @@ class TestInfoCommands:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestBackendSelection:
+    def test_compare_with_explicit_serial_backend(self, capsys):
+        assert main(["compare", "--vcc", "500", "--length", "1200",
+                     "--backend", "serial", "--no-cache"]) == 0
+        assert "frequency_gain" in capsys.readouterr().out
+
+    def test_compare_through_queue_backend(self, tmp_path, capsys):
+        """The full CLI wire path: spool, detached-style worker, collect."""
+        import threading
+
+        from repro.engine import SpoolBroker, run_worker_loop
+
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=run_worker_loop,
+            kwargs=dict(broker=SpoolBroker(tmp_path), stop=stop,
+                        poll_interval=0.02),
+            daemon=True)
+        worker.start()
+        try:
+            assert main(["compare", "--vcc", "500", "--length", "1200",
+                         "--backend", "queue", "--queue", str(tmp_path),
+                         "--no-cache"]) == 0
+        finally:
+            stop.set()
+            worker.join()
+        assert "frequency_gain" in capsys.readouterr().out

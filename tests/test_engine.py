@@ -333,9 +333,14 @@ class TestRunnerSerial:
 
     def test_serial_errors_propagate_unwrapped(self):
         runner = ParallelRunner(workers=1)
-        with pytest.raises(RuntimeError, match="injected engine crash"):
+        with pytest.raises(RuntimeError,
+                           match="injected engine crash") as excinfo:
             runner.run([Job(kind="engine-selftest-crash")])
         assert runner.stats.errors == 1
+        # Legacy traceback hygiene: the user sees the original exception
+        # alone, with no internal ShardFailure plumbing chained onto it.
+        assert excinfo.value.__context__ is None
+        assert excinfo.value.__cause__ is None
 
     def test_single_job_on_parallel_runner_wraps_errors(self):
         # One pending job runs inline even with workers > 1, but the
@@ -427,6 +432,74 @@ class TestParallelExecution:
         assert batched.total_time_s == direct.total_time_s
 
 
+class TestRetryCounters:
+    """EngineStats.requeued/retried: the queue backend's fault ledger."""
+
+    @staticmethod
+    def queue_runner(tmp_path, progress=None, **kwargs):
+        from repro.engine import QueueBackend
+
+        kwargs.setdefault("lease_timeout", 30.0)
+        kwargs.setdefault("poll_interval", 0.02)
+        kwargs.setdefault("local_workers", 1)
+        return ParallelRunner(backend=QueueBackend(tmp_path / "spool",
+                                                   **kwargs),
+                              progress=progress)
+
+    def test_clean_batches_count_no_retries(self, tmp_path):
+        runner = self.queue_runner(tmp_path)
+        runner.run([Job(kind="engine-selftest-sleep",
+                        options=(("note", "clean"),))])
+        assert runner.stats.requeued == 0
+        assert runner.stats.retried == 0
+
+    def test_every_redispatch_is_counted_once_per_event(self, tmp_path):
+        runner = self.queue_runner(tmp_path, max_retries=2)
+        with pytest.raises(EngineError):
+            runner.run([Job(kind="engine-selftest-crash",
+                            options=(("note", "counted"),))])
+        # 3 executions: the first dispatch plus max_retries re-dispatches.
+        assert runner.stats.requeued == 2
+        assert runner.stats.retried == 1   # one distinct shard retried
+        assert runner.stats.errors == 1
+
+    def test_serial_and_pool_backends_never_requeue(self, tmp_path):
+        serial = ParallelRunner()
+        with pytest.raises(RuntimeError):
+            serial.run([Job(kind="engine-selftest-crash")])
+        assert serial.stats.requeued == 0 and serial.stats.retried == 0
+
+    def test_requeues_surface_in_progress_output(self, tmp_path):
+        from repro.engine import QueueBackend, job_key
+
+        class RecordingProgress:
+            def __init__(self):
+                self.labels = []
+
+            def start(self, total, label=""):
+                pass
+
+            def advance(self, done, total, label=""):
+                self.labels.append(label)
+
+            def finish(self, total, label=""):
+                pass
+
+        progress = RecordingProgress()
+        backend = QueueBackend(tmp_path / "spool", local_workers=1,
+                               lease_timeout=30.0, poll_interval=0.02)
+        # A corrupt pre-existing result forces one quarantine + requeue;
+        # the 0.15 s execution keeps it in place until the first poll.
+        job = Job(kind="engine-selftest-sleep",
+                  options=(("note", "drill"), ("sleep_s", 0.15)))
+        (backend.broker.done_dir
+         / f"{job_key(job)}.pkl").write_bytes(b"garbage")
+        runner = ParallelRunner(backend=backend, progress=progress)
+        runner.run([job], label="fault drill")
+        assert runner.stats.requeued == 1
+        assert progress.labels[-1] == "fault drill [requeued 1]"
+
+
 class TestEngineKnobs:
     """The shared --workers/--no-cache wiring of every front end."""
 
@@ -465,12 +538,58 @@ class TestEngineKnobs:
         runner = runner_from_args(args)
         assert runner.workers == 3
         assert runner.cache is None
+        assert runner.backend.name == "pool"   # legacy auto-selection
+
+    def test_backend_arguments_roundtrip(self, tmp_path):
+        import argparse
+
+        from repro.engine import add_engine_arguments, runner_from_args
+
+        parser = argparse.ArgumentParser()
+        add_engine_arguments(parser)
+        args = parser.parse_args(["--no-cache", "--backend", "serial",
+                                  "--workers", "4"])
+        assert runner_from_args(args).backend.name == "serial"
+        args = parser.parse_args(["--no-cache", "--backend", "queue",
+                                  "--queue", str(tmp_path)])
+        runner = runner_from_args(args)
+        assert runner.backend.name == "queue"
+        assert runner.backend.broker.root == tmp_path
+
+    def test_queue_dir_alone_implies_the_queue_backend(self, tmp_path):
+        # `--queue DIR` without `--backend queue` must not silently run
+        # locally while the operator's detached workers sit idle.
+        import argparse
+
+        from repro.engine import add_engine_arguments, runner_from_args
+
+        parser = argparse.ArgumentParser()
+        add_engine_arguments(parser)
+        args = parser.parse_args(["--no-cache", "--queue", str(tmp_path)])
+        assert runner_from_args(args).backend.name == "queue"
+        # ...and an explicit --workers N on the queue backend is called
+        # out rather than silently dropped.
+        args = parser.parse_args(["--no-cache", "--queue", str(tmp_path),
+                                  "--workers", "4"])
+        with pytest.warns(RuntimeWarning, match="workers"):
+            assert runner_from_args(args).backend.name == "queue"
+
+    def test_build_runner_resolves_backends(self, tmp_path):
+        from repro.engine import build_runner
+
+        assert build_runner(no_cache=True).backend.name == "serial"
+        assert build_runner(workers=2,
+                            no_cache=True).backend.name == "pool"
+        runner = build_runner(no_cache=True, backend="queue",
+                              queue_dir=tmp_path)
+        assert runner.backend.name == "queue"
 
     def test_stats_hits_totals_both_tiers(self):
         from repro.engine import EngineStats
 
         stats = EngineStats(memory_hits=2, disk_hits=3)
         assert stats.hits == 5
+        assert stats.requeued == 0 and stats.retried == 0
 
 
 class TestTextProgress:

@@ -6,10 +6,11 @@ population, lock down the per-trace sharding refactor: any change to the
 shard split, the aggregation order, or the executors that shifts a single
 cycle count shows up as a golden diff.
 
-Serial and parallel runs must both reproduce the goldens.  Integer
-fields (cycle and instruction counts) are compared exactly; floats are
-compared to 1e-12 relative — bit-identical in practice, with the
-tolerance only guarding libm variation across platforms.
+Serial, pool-parallel and queue-distributed runs must all reproduce the
+goldens (backend equivalence).  Integer fields (cycle and instruction
+counts) are compared exactly; floats are compared to 1e-12 relative —
+bit-identical in practice, with the tolerance only guarding libm
+variation across platforms.
 
 Regenerate (after an *intentional* simulator change) with::
 
@@ -24,7 +25,7 @@ import pytest
 
 from repro.analysis.sweep import SweepSettings, VccSweep
 from repro.analysis.table1 import build_table1
-from repro.engine import ParallelRunner, ResultCache
+from repro.engine import ParallelRunner, QueueBackend, ResultCache
 from repro.workloads.profiles import KERNEL_LIKE, SPECINT_LIKE
 
 pytestmark = pytest.mark.engine
@@ -107,6 +108,46 @@ class TestGoldenSharded:
         warm = ParallelRunner(workers=1, cache=ResultCache(root=tmp_path))
         artifacts = compute_artifacts(warm)
         assert warm.stats.simulated == 0  # every shard served from disk
+        assert_matches_golden(artifacts["table1"], load_golden("table1"),
+                              "table1")
+
+
+class TestGoldenQueue:
+    """The distributed queue backend must be bit-identical too.
+
+    The backend runs with in-process workers (``local_workers``), so the
+    full wire path — shard pickled into ``pending/``, claimed via a
+    rename-based lease, result pickled into ``done/`` and collected —
+    is exercised without external processes.
+    """
+
+    @staticmethod
+    def queue_runner(tmp_path, cache=None, workers=2) -> ParallelRunner:
+        backend = QueueBackend(tmp_path / "spool", local_workers=workers,
+                               lease_timeout=60.0, poll_interval=0.01)
+        return ParallelRunner(backend=backend, cache=cache)
+
+    def test_queue_backend_reproduces_goldens(self, tmp_path):
+        runner = self.queue_runner(
+            tmp_path, cache=ResultCache(root=tmp_path / "cache"))
+        artifacts = compute_artifacts(runner)
+        assert runner.stats.sharded > 0       # population jobs really split
+        assert runner.stats.simulated > 0     # shards executed via the spool
+        assert runner.stats.requeued == 0     # healthy run: no fault path
+        assert_matches_golden(artifacts["table1"], load_golden("table1"),
+                              "table1")
+        assert_matches_golden(artifacts["fig11b_500mv"],
+                              load_golden("fig11b_500mv"), "fig11b_500mv")
+
+    def test_warm_cache_queue_run_simulates_nothing(self, tmp_path):
+        cold = ParallelRunner(workers=1,
+                              cache=ResultCache(root=tmp_path / "cache"))
+        compute_artifacts(cold)
+        warm = self.queue_runner(
+            tmp_path, cache=ResultCache(root=tmp_path / "cache"))
+        artifacts = compute_artifacts(warm)
+        assert warm.stats.simulated == 0   # nothing ever hits the spool
+        assert list((tmp_path / "spool").rglob("*.job")) == []
         assert_matches_golden(artifacts["table1"], load_golden("table1"),
                               "table1")
 
