@@ -24,8 +24,9 @@ import warnings
 
 import pytest
 
-from repro.analysis.sweep import SweepSettings, VccSweep
+from repro.analysis.sweep import VccSweep
 from repro.engine import ParallelRunner, build_runner
+from repro.experiments import Experiment, ExperimentSpec
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -83,10 +84,25 @@ def engine_runner(pytestconfig) -> ParallelRunner:
 
 
 @pytest.fixture(scope="session")
-def session_sweep(engine_runner) -> VccSweep:
+def session_experiment(engine_runner) -> Experiment:
+    """The benchmark population as a declarative experiment.
+
+    The spec is the single source of the bench population/grid identity;
+    benches that want raw evaluation points use :func:`session_sweep`
+    (the experiment's own sweep, sharing its memo), benches that want
+    paper artifacts render them via ``session_experiment.artifact(...)``.
+    """
+    spec = ExperimentSpec(name="benchmarks",
+                          trace_length=BENCH_TRACE_LENGTH,
+                          step_mv=50.0,
+                          artifacts=("table1", "fig11b", "fig12"))
+    return Experiment(spec, runner=engine_runner)
+
+
+@pytest.fixture(scope="session")
+def session_sweep(session_experiment) -> VccSweep:
     """One shared evaluation sweep for all benchmarks."""
-    return VccSweep(SweepSettings(trace_length=BENCH_TRACE_LENGTH),
-                    runner=engine_runner)
+    return session_experiment.sweep
 
 
 def pytest_terminal_summary(terminalreporter):

@@ -8,61 +8,71 @@ execution time, energy and EDP — then answers two planning questions:
 * Which Vcc minimizes EDP under each clocking scheme?
 * At a fixed performance target, how much energy does IRAW save?
 
-The whole (Vcc x scheme) grid is one engine batch sharded per trace:
-``--workers N`` runs the shards across N processes (or
+The (Vcc x scheme) grid is one declarative :class:`ExperimentSpec` run
+through the ``Experiment`` driver as a single engine batch sharded per
+trace: ``--workers N`` runs the shards across N processes (or
 ``--backend queue --queue DIR`` dispatches them to detached
 ``repro worker`` processes) and the on-disk result cache makes
-re-exploration free (``--no-cache`` opts out).
+re-exploration free (``--no-cache`` opts out).  The exploration itself
+is ordinary post-processing on the experiment's structured
+:class:`ResultSet` — filter/pivot on flat records, export with
+``--export-csv``.
 
 Run:  python examples/energy_explorer.py [--workers 4] [--no-cache]
                                          [--backend serial|pool|queue]
+                                         [--export-csv points.csv]
 """
 
 import argparse
 
-from repro.analysis.figures import calibrated_energy_model
 from repro.analysis.reporting import format_table
-from repro.analysis.sweep import SweepSettings, VccSweep
-from repro.circuits.ekv import voltage_grid
-from repro.circuits.frequency import ClockScheme
 from repro.engine import add_engine_arguments, runner_from_args
+from repro.experiments import Experiment, ExperimentSpec
+from repro.experiments.artifacts import calibrated_energy_model
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--export-csv", metavar="PATH", default=None,
+                        help="write the per-point records as CSV")
     add_engine_arguments(parser)
     args = parser.parse_args()
 
-    sweep = VccSweep(SweepSettings(trace_length=5000),
-                     runner=runner_from_args(args))
-    print("Simulating the population across the Vcc grid...\n")
-
     # 25 mV steps: iso-performance Vcc reductions are finer than 50 mV.
-    grid = voltage_grid(25.0)
-    schemes = (ClockScheme.BASELINE, ClockScheme.IRAW)
-    # One batch for the whole grid (parallelizes), then the calibration
-    # point at 600 mV is already memoized when the model needs it.
-    sweep.prefetch_grid(grid, schemes=schemes, label="energy-explorer")
-    energy_model = calibrated_energy_model(sweep)
+    # No named artifacts: this exploration consumes the raw ResultSet.
+    spec = ExperimentSpec(name="energy-explorer",
+                          trace_length=5000,
+                          step_mv=25.0,
+                          artifacts=())
+    experiment = Experiment(spec, runner=runner_from_args(args))
+    print("Simulating the population across the Vcc grid...\n")
+    # One batch for the whole grid (parallelizes); the 600 mV baseline
+    # calibration point is part of the grid, so the energy model finds
+    # it memoized.
+    results = experiment.run()
+    energy_model = calibrated_energy_model(experiment.sweep)
 
     rows = []
-    for vcc in grid:
-        for scheme in schemes:
-            point = sweep.run_point(vcc, scheme)
-            overhead = 0.01 if scheme is ClockScheme.IRAW else 0.0
-            breakdown = energy_model.task_energy(
-                vcc, point.execution_time_s, dynamic_overhead=overhead)
-            rows.append({
-                "vcc_mv": vcc,
-                "scheme": scheme.value,
-                "frequency_mhz": point.point.frequency_mhz,
-                "time_ms": point.execution_time_s * 1e3,
-                "energy_j": breakdown.total_j,
-                "leakage_share": breakdown.leakage_share,
-                "edp": breakdown.edp,
-            })
+    for record in results:
+        overhead = 0.01 if record.scheme == "iraw" else 0.0
+        breakdown = energy_model.task_energy(
+            record.vcc_mv, record["execution_time_s"],
+            dynamic_overhead=overhead)
+        rows.append({
+            "vcc_mv": record.vcc_mv,
+            "scheme": record.scheme,
+            "frequency_mhz": record["frequency_mhz"],
+            "time_ms": record["execution_time_s"] * 1e3,
+            "energy_j": breakdown.total_j,
+            "leakage_share": breakdown.leakage_share,
+            "edp": breakdown.edp,
+        })
     print(format_table(rows, title="Operating points "
                                    "(reference task energy units)"))
+
+    if args.export_csv:
+        results.to_csv(args.export_csv)
+        print(f"\nwrote {len(results)} records to {args.export_csv}")
 
     for scheme in ("baseline", "iraw"):
         candidates = [r for r in rows if r["scheme"] == scheme]
@@ -93,7 +103,7 @@ def main() -> None:
         print("\nNo lower-Vcc IRAW point meets the 550 mV baseline "
               "deadline on this population.")
 
-    stats = sweep.stats
+    stats = experiment.stats
     print(f"\nengine: {stats.simulated} trace shards simulated, "
           f"{stats.memory_hits} memo hits, {stats.disk_hits} cache hits")
 

@@ -14,7 +14,11 @@ limit at low Vcc — together with every substrate the evaluation needs:
 * :mod:`repro.pipeline` — the cycle-level 2-wide in-order core;
 * :mod:`repro.baselines` — Table 1's Faulty Bits / Extra Bypass;
 * :mod:`repro.analysis` — the evaluation harness regenerating every
-  figure and table.
+  figure and table;
+* :mod:`repro.experiments` — the declarative experiment API: serializable
+  ``ExperimentSpec`` files (TOML/JSON), one ``Experiment.run`` driver
+  over the engine, structured ``ResultSet`` records and the named
+  artifact registry behind ``python -m repro run``.
 
 Quickstart::
 
@@ -27,7 +31,7 @@ from repro.core import IrawConfig, VccController
 from repro.pipeline import simulate
 from repro.workloads import SyntheticTraceGenerator, kernel_trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ClockScheme",

@@ -4,22 +4,26 @@ Each function returns the data rows of one paper artifact; the benchmarks
 print them and assert the qualitative shape (who wins, where crossovers
 fall).  See DESIGN.md's experiment index for the mapping.
 
-The simulated figures (11b, 12) prefetch their whole (Vcc x scheme) grid
-through the sweep's engine in one batch before assembling rows.  The
-engine shards every grid point per trace, so a
-``ParallelRunner(workers=N)`` spreads ``points x traces`` units across N
-processes, a warm result cache regenerates figures without any
-simulation at all, and adding a trace to the population re-simulates
-only that trace's shards.
+Since the :mod:`repro.experiments` redesign the simulated artifacts
+(11b, 12, the 450 mV energy example, the overhead report) are rendered
+by the named-artifact registry in
+:mod:`repro.experiments.artifacts`; the functions here are kept as thin
+wrappers so existing callers (benchmarks, notebooks, tests) keep
+working unchanged.  New code should author an
+:class:`~repro.experiments.spec.ExperimentSpec` and render through
+:class:`~repro.experiments.experiment.Experiment` instead — same rows,
+one driver, and the whole campaign executes as a single engine batch.
+
+The circuit-only artifacts (Figure 1, Figure 11a) involve no simulation
+and stay first-class here.
 """
 
 from __future__ import annotations
 
-from repro.circuits.area import AreaModel
 from repro.circuits.constants import default_delay_model
 from repro.circuits.delay import DelayModel
 from repro.circuits.ekv import voltage_grid
-from repro.circuits.energy import EnergyModel, paper_450mv_example
+from repro.circuits.energy import EnergyModel
 from repro.circuits.frequency import ClockScheme, FrequencySolver
 from repro.analysis.sweep import VccSweep
 
@@ -41,65 +45,39 @@ def figure11a_series(solver: FrequencySolver | None = None,
 def figure11b_series(sweep: VccSweep,
                      step_mv: float = 25.0) -> list[dict[str, float]]:
     """Figure 11(b): frequency increase and performance gain vs Vcc."""
-    grid = voltage_grid(step_mv)
-    sweep.prefetch_grid(grid, label="figure11b")
-    return [sweep.compare(vcc) for vcc in grid]
+    from repro.experiments.artifacts import fig11b_rows
+
+    return fig11b_rows(sweep, voltage_grid(step_mv))
 
 
 def calibrated_energy_model(sweep: VccSweep) -> EnergyModel:
-    """An :class:`EnergyModel` whose reference task is the sweep's own
-    population: the baseline run at 600 mV defines the execution time at
-    which leakage is 10% of total energy (paper Section 5.1)."""
-    reference = sweep.run_point(600.0, ClockScheme.BASELINE)
-    return EnergyModel(reference_dynamic_j=0.9,
-                       reference_time_s=reference.execution_time_s)
+    """An :class:`EnergyModel` calibrated on the sweep's own population."""
+    from repro.experiments.artifacts import calibrated_energy_model
+
+    return calibrated_energy_model(sweep)
 
 
 def figure12_series(sweep: VccSweep, energy: EnergyModel | None = None,
                     step_mv: float = 25.0) -> list[dict[str, float]]:
     """Figure 12: IRAW energy/delay/EDP relative to the baseline vs Vcc."""
-    grid = voltage_grid(step_mv)
-    sweep.prefetch_grid(grid, label="figure12")
-    energy = energy or calibrated_energy_model(sweep)
-    rows = []
-    for vcc in grid:
-        baseline_time, iraw_time = sweep.execution_times(vcc)
-        rows.append(energy.relative_metrics(vcc, baseline_time, iraw_time))
-    return rows
+    from repro.experiments.artifacts import fig12_rows
+
+    return fig12_rows(sweep, voltage_grid(step_mv), energy=energy)
 
 
 def energy_example_450(sweep: VccSweep,
                        energy: EnergyModel | None = None) -> dict[str, dict]:
     """The paper's Section 5.3 joule-accounting example at 450 mV."""
-    energy = energy or calibrated_energy_model(sweep)
-    unconstrained, baseline, iraw = sweep.run_points(
-        [(450.0, ClockScheme.LOGIC), (450.0, ClockScheme.BASELINE),
-         (450.0, ClockScheme.IRAW)], label="energy-example@450mV")
-    breakdowns = paper_450mv_example(
-        energy,
-        unconstrained_time_s=unconstrained.execution_time_s,
-        baseline_time_s=baseline.execution_time_s,
-        iraw_time_s=iraw.execution_time_s,
-    )
-    return {
-        name: {
-            "total_j": b.total_j,
-            "leakage_j": b.leakage_j,
-            "dynamic_j": b.dynamic_j,
-        }
-        for name, b in breakdowns.items()
-    }
+    from repro.experiments.artifacts import energy450_cases
+
+    return energy450_cases(sweep, energy=energy)
 
 
 def overhead_report() -> dict[str, float]:
     """Section 5.3: area and power overhead of the IRAW hardware."""
-    report = AreaModel().report()
-    return {
-        "extra_bits": report.extra_bits,
-        "extra_transistors": report.extra_transistors,
-        "area_overhead": report.area_overhead,
-        "power_overhead": report.power_overhead,
-    }
+    from repro.experiments.artifacts import overhead_rows
+
+    return overhead_rows()[0]
 
 
 def prediction_hazard_report(sweep: VccSweep,

@@ -87,13 +87,29 @@ def speedup(baseline: PointResult, candidate: PointResult,
     ``per_trace_geomean`` the speedup is the geometric mean of per-trace
     time ratios (the venue-standard aggregation); otherwise it is the
     ratio of total execution times.
+
+    A point with zero cycles (an empty or failed run) has no defined
+    execution time, so either side being zero raises ``ValueError``
+    naming the culprit instead of dividing by zero or feeding the
+    geometric mean a non-positive ratio.
     """
+    if len(baseline.results) != len(candidate.results):
+        raise ValueError(
+            f"speedup needs matching populations: baseline ran "
+            f"{len(baseline.results)} traces, candidate "
+            f"{len(candidate.results)}")
     if not per_trace_geomean:
+        if candidate.cycles == 0 or baseline.cycles == 0:
+            raise ValueError("speedup is undefined for zero-cycle points")
         return baseline.execution_time_s / candidate.execution_time_s
     f_base = baseline.point.frequency_mhz
     f_cand = candidate.point.frequency_mhz
     ratios = []
     for rb, rc in zip(baseline.results, candidate.results):
+        if rb.cycles == 0 or rc.cycles == 0:
+            raise ValueError(
+                f"speedup is undefined: trace {rb.trace_name!r} has a "
+                f"zero-cycle result")
         time_base = rb.cycles / f_base
         time_cand = rc.cycles / f_cand
         ratios.append(time_base / time_cand)

@@ -6,6 +6,7 @@ figures report; these helpers keep that output readable and consistent.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Mapping
 
 
@@ -13,6 +14,12 @@ def format_value(value: object) -> str:
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):
+        # Non-finite metrics (a zero-baseline ratio, a failed fit) must
+        # stay visible in tables instead of crashing the format specs.
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
         if abs(value) >= 100:
             return f"{value:.0f}"
         if abs(value) >= 1:
@@ -26,10 +33,16 @@ def format_table(rows: Iterable[Mapping[str, object]],
                  title: str | None = None) -> str:
     """Render dict-rows as an aligned ASCII table."""
     rows = list(rows)
-    if not rows:
+    if not rows and columns is None:
         return f"{title or 'table'}: (no rows)"
     if columns is None:
         columns = list(rows[0].keys())
+    if not rows:
+        # Known columns, no data: emit the header so downstream diffing
+        # sees the schema instead of a shapeless placeholder.
+        header = " | ".join(columns)
+        rule = "-+-".join("-" * len(col) for col in columns)
+        return "\n".join(filter(None, [title, header, rule, "(no rows)"]))
     rendered = [[format_value(row.get(col, "")) for col in columns]
                 for row in rows]
     widths = [max(len(col), *(len(r[i]) for r in rendered))

@@ -1,4 +1,4 @@
-"""Quantitative reproduction of the paper's Table 1.
+"""Quantitative reproduction of the paper's Table 1 (legacy wrappers).
 
 The original Table 1 is qualitative (yes/no per criterion).  We reproduce
 it with numbers: each technique is evaluated at one Vcc on the same trace
@@ -6,111 +6,30 @@ population, reporting its honest core-level frequency gain (respecting the
 blocks it cannot cover), its hypothetical ceiling, its measured IPC impact
 and its hardware overhead.
 
-All four population runs (baseline, IRAW, Faulty Bits, Extra Bypass) are
-declarative engine jobs submitted as **one batch** through the sweep's
-runner, where each splits into per-trace shards: the batch exposes
-``4 x traces`` parallel units, and every shard persists in the result
-cache like any other evaluation point, so re-running Table 1 after
-growing the trace population simulates only the new traces.
+The implementation lives in :mod:`repro.experiments.artifacts`
+(``table1_jobs`` / ``table1_rows``) — the same rows render through the
+declarative driver (``repro run spec.toml`` with ``table1`` in the
+spec's artifact list) and through these wrappers, bit-identically.
+All four population runs (baseline, IRAW, Faulty Bits, Extra Bypass)
+are declarative engine jobs submitted as **one batch** through the
+sweep's runner, where each splits into per-trace shards.
 """
 
 from __future__ import annotations
 
-from repro.baselines.extra_bypass import ExtraBypassBaseline
-from repro.baselines.faulty_bits import FaultyBitsBaseline
-from repro.baselines.freq_scaling import FrequencyScalingBaseline
-from repro.circuits.area import AreaModel
-from repro.circuits.frequency import ClockScheme
 from repro.engine.jobs import Job
-from repro.analysis.metrics import PointResult
 from repro.analysis.sweep import VccSweep
 
 
 def table1_jobs(sweep: VccSweep, vcc_mv: float) -> list[Job]:
     """The four population evaluations behind Table 1, as engine jobs."""
-    options = sweep.point_options()
-    return [
-        sweep.job_for(vcc_mv, ClockScheme.BASELINE),
-        sweep.job_for(vcc_mv, ClockScheme.IRAW),
-        Job(kind="faulty-bits", vcc_mv=vcc_mv, scheme="faulty-bits",
-            population=sweep.population, options=options),
-        Job(kind="extra-bypass", vcc_mv=vcc_mv, scheme="extra-bypass",
-            population=sweep.population,
-            options=options + (("hypothetical_rf_only", True),)),
-    ]
+    from repro.experiments.artifacts import table1_jobs
+
+    return table1_jobs(sweep, vcc_mv)
 
 
 def build_table1(sweep: VccSweep, vcc_mv: float = 500.0) -> list[dict]:
     """Evaluate IRAW and both state-of-the-art alternatives at ``vcc_mv``."""
-    solver = sweep.solver
-    baseline, iraw, faulty_result, bypass_result = sweep.runner.run(
-        table1_jobs(sweep, vcc_mv), label=f"table1@{vcc_mv:g}mV")
+    from repro.experiments.artifacts import table1_rows
 
-    freq_scaling = FrequencyScalingBaseline(solver)
-    faulty = FaultyBitsBaseline(solver)
-    bypass = ExtraBypassBaseline(solver)
-
-    # Faulty Bits: honest clock (register-file bound) + degraded caches;
-    # the executor reports the disabled-line fractions via ``extras``.
-    disabled_report = dict(faulty_result.extras)
-    faulty_hypothetical = faulty.operating_point(
-        vcc_mv, hypothetical_all_blocks=True)
-
-    # Extra Bypass: hypothetical RF-only variant at the logic clock with
-    # multi-cycle write-port contention.
-    bypass_point = bypass_result.point
-
-    def gain(point) -> float:
-        return point.frequency_mhz / baseline.point.frequency_mhz - 1.0
-
-    def ipc_impact(result: PointResult) -> float:
-        return 1.0 - result.ipc / baseline.ipc if baseline.ipc else 0.0
-
-    iraw_area = AreaModel().report().area_overhead
-    rows = [
-        {
-            "technique": "IRAW avoidance (this paper)",
-            "works_all_blocks": True,
-            "adapts_multiple_vcc": True,
-            "honest_freq_gain": gain(iraw.point),
-            "hypothetical_freq_gain": gain(iraw.point),
-            "ipc_impact": ipc_impact(iraw),
-            "area_overhead": iraw_area,
-            "hard_to_test": False,
-        },
-        {
-            "technique": "Faulty Bits [1,22,26]",
-            "works_all_blocks": False,
-            "adapts_multiple_vcc": "costly",
-            "honest_freq_gain": gain(faulty_result.point),
-            "hypothetical_freq_gain": gain(faulty_hypothetical),
-            "ipc_impact": ipc_impact(faulty_result),
-            "area_overhead": faulty.area_overhead(),
-            "hard_to_test": True,
-        },
-        {
-            "technique": "Extra Bypass [3,4,20]",
-            "works_all_blocks": False,
-            "adapts_multiple_vcc": False,
-            "honest_freq_gain": gain(bypass.operating_point(vcc_mv)),
-            "hypothetical_freq_gain": gain(bypass_point),
-            "ipc_impact": ipc_impact(bypass_result),
-            # Latches sized for the design minimum Vcc, paid everywhere.
-            "area_overhead": bypass.area_overhead(),
-            "hard_to_test": False,
-        },
-        {
-            "technique": "frequency scaling (baseline)",
-            "works_all_blocks": True,
-            "adapts_multiple_vcc": True,
-            "honest_freq_gain": 0.0,
-            "hypothetical_freq_gain": 0.0,
-            "ipc_impact": 0.0,
-            "area_overhead": freq_scaling.area_overhead(),
-            "hard_to_test": False,
-        },
-    ]
-    for row in rows:
-        row["disabled_lines"] = disabled_report.get("DL0", 0.0) \
-            if row["technique"].startswith("Faulty") else 0.0
-    return rows
+    return table1_rows(sweep, vcc_mv)

@@ -2,6 +2,7 @@
 
 Subcommands
 -----------
+``run``       execute a declarative experiment spec file (TOML/JSON)
 ``figures``   regenerate the paper's figures as ASCII tables
 ``compare``   baseline-vs-IRAW comparison at chosen Vcc levels
 ``simulate``  run one kernel or synthetic trace on the pipeline
@@ -9,12 +10,21 @@ Subcommands
 ``kernels``   list the built-in kernels
 ``calibrate`` re-run the circuit-model fit and report the anchors
 ``cache``     inspect or clear the on-disk result cache
+``queue``     inspect a queue spool / garbage-collect stale versions
 ``worker``    run a queue-backend worker against a spool directory
 
-The simulation-backed subcommands (``figures``, ``compare``) run their
-evaluation points through the experiment engine: every point is sharded
-per trace, ``--workers N`` spreads the shards across N processes (``0``
-= one per CPU) and completed shards persist in the on-disk result cache
+``repro run experiment.toml`` is the declarative front end: the spec
+file names a trace population, a Vcc grid, clock schemes, ablations,
+DVFS schedules and a list of named artifacts (``table1``, ``fig11b``,
+``fig12``, ``energy450``, ``overheads``, ``dvfs``), and one driver
+(:class:`repro.experiments.Experiment`) compiles it into a single
+engine batch.  ``figures`` and ``compare`` are conveniences that build
+the equivalent spec in memory and run it through the same driver.
+
+The simulation-backed subcommands run their evaluation points through
+the experiment engine: every point is sharded per trace, ``--workers N``
+spreads the shards across N processes (``0`` = one per CPU) and
+completed shards persist in the on-disk result cache
 (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) unless ``--no-cache`` is
 given.  ``$REPRO_CACHE_MAX_BYTES`` bounds the cache; ``cache --prune``
 evicts least-recently-used entries beyond the bound and reclaims stale
@@ -25,24 +35,23 @@ code versions.
 in-process: start any number of ``python -m repro worker --queue DIR``
 processes — other terminals, other machines sharing the directory — and
 the runner collects their results, re-dispatching shards lost to
-crashed workers.  Configuration errors (bad spool or cache roots,
-unknown backends) exit with a one-line message and status 2.
+crashed workers.  ``repro queue --gc`` (or ``repro worker --gc``)
+deletes spool version directories stranded by old code versions.
+Configuration errors (bad spool or cache roots, unknown backends) exit
+with a one-line message and status 2.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 
-from repro.analysis.figures import (
-    figure1_series,
-    figure11a_series,
-    figure11b_series,
-    figure12_series,
-)
+import repro
+from repro.analysis.figures import figure1_series, figure11a_series
 from repro.analysis.reporting import format_table
-from repro.analysis.sweep import SweepSettings, VccSweep, warm_caches
+from repro.analysis.sweep import warm_caches
 from repro.circuits.frequency import ClockScheme, FrequencySolver
 from repro.core.config import IrawConfig
 from repro.engine import (
@@ -52,8 +61,15 @@ from repro.engine import (
     add_engine_arguments,
     runner_from_args,
 )
-from repro.engine.broker import QUEUE_DIR_ENV, SpoolBroker, worker_main
+from repro.engine.broker import (
+    QUEUE_DIR_ENV,
+    SpoolBroker,
+    prune_stale_versions,
+    worker_main,
+)
 from repro.errors import ConfigError
+from repro.experiments import KNOWN_ARTIFACTS, Experiment, ExperimentSpec
+from repro.experiments.artifacts import ARTIFACTS
 from repro.memory.hierarchy import MemoryConfig
 from repro.pipeline.core import CoreSetup, InOrderCore
 from repro.workloads.kernels import KERNEL_BUILDERS, kernel_trace
@@ -73,7 +89,29 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'High-Performance Low-Vcc In-Order "
                     "Core' (HPCA 2010)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {repro.__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="execute a declarative experiment spec file",
+        description="Load an ExperimentSpec from a TOML or JSON file, "
+                    "compile it into one engine batch, and render the "
+                    "artifacts it lists.  Any user-authored grid runs "
+                    "this way — new scenarios need a spec file, not "
+                    "new code.")
+    run.add_argument("spec", help="spec file (.toml or .json)")
+    run.add_argument("--artifact", action="append", metavar="NAME",
+                     choices=KNOWN_ARTIFACTS, default=None,
+                     help="render only this artifact (repeatable; "
+                          "default: the spec's list)")
+    run.add_argument("--export-csv", metavar="PATH", default=None,
+                     help="write the flat ResultSet as CSV")
+    run.add_argument("--export-json", metavar="PATH", default=None,
+                     help="write the flat ResultSet as JSON")
+    run.add_argument("--dry-run", action="store_true",
+                     help="print the campaign plan without simulating")
+    add_engine_arguments(run)
 
     figures = sub.add_parser("figures", help="regenerate paper figures")
     figures.add_argument("--artifact", default="circuit",
@@ -125,6 +163,18 @@ def _build_parser() -> argparse.ArgumentParser:
                             "evict least-recently-used entries beyond "
                             "$REPRO_CACHE_MAX_BYTES")
 
+    queue = sub.add_parser(
+        "queue", help="inspect a queue spool / GC stale versions",
+        description="Report the spool's current-version backlog "
+                    "(pending/claimed/done/failed shard counts) and, "
+                    "with --gc, delete version directories stranded by "
+                    "older code versions.")
+    queue.add_argument("--queue", metavar="DIR", default=None,
+                       help=f"spool directory (default ${QUEUE_DIR_ENV})")
+    queue.add_argument("--gc", action="store_true",
+                       help="delete stale version directories under the "
+                            "spool root and report what was removed")
+
     worker = sub.add_parser(
         "worker", help="run a queue-backend worker",
         description="Claim per-trace shards from a spool directory "
@@ -142,7 +192,53 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: serve forever)")
     worker.add_argument("--max-shards", type=int, default=None, metavar="M",
                         help="exit after executing M shards")
+    worker.add_argument("--gc", action="store_true",
+                        help="garbage-collect stale spool versions and "
+                             "exit instead of serving")
     return parser
+
+
+def _print_stats(runner: ParallelRunner) -> None:
+    stats = runner.stats
+    print(f"\nengine: {stats.simulated} trace shards simulated, "
+          f"{stats.memory_hits} memo hits, {stats.disk_hits} cache hits")
+
+
+def _cmd_run(args) -> int:
+    spec = ExperimentSpec.load(args.spec)
+    if args.artifact:
+        seen = []
+        for name in args.artifact:
+            if name not in seen:
+                seen.append(name)
+        spec = dataclasses.replace(spec, artifacts=tuple(seen))
+    experiment = Experiment(spec, runner=_build_runner(args))
+    if args.dry_run:
+        jobs = experiment.plan()
+        grid = spec.grid()
+        print(f"experiment:  {spec.name}")
+        print(f"population:  {len(spec.profiles)} profiles x "
+              f"{spec.seeds_per_profile} seeds x "
+              f"{spec.trace_length} instructions")
+        print(f"grid:        {len(grid)} Vcc levels x "
+              f"{len(spec.schemes)} schemes "
+              f"(+{len(spec.ablations)} ablations, "
+              f"{len(spec.dvfs)} dvfs schedules)")
+        print(f"jobs:        {len(jobs)} before dedup/sharding")
+        print(f"artifacts:   {', '.join(spec.artifacts) or '(none)'}")
+        return 0
+    results = experiment.run()
+    for name, rows in experiment.artifacts().items():
+        print(format_table(rows, title=ARTIFACTS[name].title))
+        print()
+    if args.export_csv:
+        results.to_csv(args.export_csv)
+        print(f"wrote {len(results)} records to {args.export_csv}")
+    if args.export_json:
+        results.to_json(args.export_json)
+        print(f"wrote {len(results)} records to {args.export_json}")
+    _print_stats(experiment.runner)
+    return 0
 
 
 def _cmd_figures(args) -> int:
@@ -156,24 +252,39 @@ def _cmd_figures(args) -> int:
                            title="Figure 11(a)"))
         print()
     if wanted in ("fig11b", "fig12", "all"):
-        sweep = VccSweep(SweepSettings(trace_length=args.length),
-                         runner=_build_runner(args))
+        # The simulated figures go through the declarative driver: the
+        # equivalent of a spec file with the chosen grid and artifacts.
+        artifacts = []
         if wanted in ("fig11b", "all"):
-            print(format_table(figure11b_series(sweep, step_mv=args.step),
+            artifacts.append("fig11b")
+        if wanted in ("fig12", "all"):
+            artifacts.append("fig12")
+        spec = ExperimentSpec(name="cli-figures",
+                              trace_length=args.length,
+                              step_mv=args.step,
+                              artifacts=tuple(artifacts))
+        experiment = Experiment(spec, runner=_build_runner(args))
+        experiment.run()
+        if wanted in ("fig11b", "all"):
+            print(format_table(experiment.artifact("fig11b"),
                                title="Figure 11(b)"))
             print()
         if wanted in ("fig12", "all"):
-            print(format_table(figure12_series(sweep, step_mv=args.step),
+            print(format_table(experiment.artifact("fig12"),
                                title="Figure 12"))
     return 0
 
 
 def _cmd_compare(args) -> int:
-    sweep = VccSweep(SweepSettings(trace_length=args.length),
-                     runner=_build_runner(args))
-    sweep.prefetch_grid(args.vcc, label="compare")
-    rows = [sweep.compare(vcc) for vcc in args.vcc]
-    print(format_table(rows, title="IRAW vs baseline"))
+    # A compare is the fig11b artifact over an explicit Vcc list.
+    spec = ExperimentSpec(name="cli-compare",
+                          trace_length=args.length,
+                          vcc_mv=tuple(args.vcc),
+                          artifacts=("fig11b",))
+    experiment = Experiment(spec, runner=_build_runner(args))
+    experiment.run()
+    print(format_table(experiment.artifact("fig11b"),
+                       title="IRAW vs baseline"))
     return 0
 
 
@@ -245,8 +356,59 @@ def _cmd_calibrate() -> int:
     return 0
 
 
+def _spool_gc(root) -> int:
+    """Shared ``--gc`` arm of ``repro queue`` and ``repro worker``."""
+    removed = prune_stale_versions(root)
+    for name, files in removed:
+        print(f"removed stale spool version {name} ({files} file(s))")
+    print(f"garbage-collected {len(removed)} stale spool version(s)")
+    return 0
+
+
+def _cmd_queue(args) -> int:
+    import pathlib
+
+    from repro.engine.cache import is_version_dir_name, version_tag
+
+    root = args.queue or os.environ.get(QUEUE_DIR_ENV)
+    if args.gc:
+        return _spool_gc(root)
+    # Inspection is strictly read-only: no SpoolBroker (its constructor
+    # creates the whole spool tree), no directory creation — a typo'd
+    # path must not leave a real-looking empty spool behind.
+    if not root:
+        raise ConfigError(
+            "the queue backend needs a spool directory: pass --queue DIR "
+            f"or set ${QUEUE_DIR_ENV}")
+    path = pathlib.Path(root).expanduser()
+    if not path.is_dir():
+        raise ConfigError(f"queue directory {path} does not exist "
+                          f"(check ${QUEUE_DIR_ENV})")
+    spool = path / version_tag()
+    counts = {
+        "pending": len(list(spool.glob("pending/*.job"))),
+        "claimed": len(list(spool.glob("claimed/*.job"))),
+        "done": len(list(spool.glob("done/*.pkl"))),
+        "failed": len(list(spool.glob("failed/*.err"))),
+    }
+    stale = [child.name for child in sorted(path.iterdir())
+             if child.is_dir() and is_version_dir_name(child.name)
+             and child.name != spool.name]
+    print(f"spool root:    {path}")
+    print(f"code version:  {spool.name}"
+          + ("" if spool.is_dir() else " (no spool written yet)"))
+    for name, value in counts.items():
+        print(f"{name + ':':14s} {value}")
+    print(f"stale versions: {len(stale)}"
+          + (f" ({', '.join(stale)}) — reclaim with 'repro queue --gc'"
+             if stale else ""))
+    return 0
+
+
 def _cmd_worker(args) -> int:
     root = args.queue or os.environ.get(QUEUE_DIR_ENV)
+    if args.gc:
+        return _spool_gc(root)
     if args.concurrency < 1:
         raise ConfigError(f"--concurrency must be >= 1 "
                           f"(got {args.concurrency})")
@@ -323,6 +485,8 @@ def _cmd_cache(args) -> int:
 
 
 def _dispatch(args) -> int:
+    if args.command == "run":
+        return _cmd_run(args)
     if args.command == "figures":
         return _cmd_figures(args)
     if args.command == "compare":
@@ -337,6 +501,8 @@ def _dispatch(args) -> int:
         return _cmd_calibrate()
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "queue":
+        return _cmd_queue(args)
     if args.command == "worker":
         return _cmd_worker(args)
     return 1  # pragma: no cover
@@ -348,8 +514,8 @@ def main(argv: list[str] | None = None) -> int:
         return _dispatch(args)
     except ConfigError as exc:
         # Operator-facing configuration problems (bad $REPRO_QUEUE_DIR /
-        # $REPRO_CACHE_DIR roots, invalid knobs) exit cleanly instead of
-        # dumping a traceback.
+        # $REPRO_CACHE_DIR roots, invalid knobs, malformed spec files)
+        # exit cleanly instead of dumping a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

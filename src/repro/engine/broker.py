@@ -66,7 +66,7 @@ import time
 import traceback
 from dataclasses import dataclass, field
 
-from repro.engine.cache import version_tag
+from repro.engine.cache import is_version_dir_name, version_tag
 from repro.errors import ConfigError
 
 #: Environment variable naming the spool root for runners and workers.
@@ -540,6 +540,52 @@ class SpoolBroker:
         self._atomic_write(self.failed_dir / f"{claim.key}.err",
                            text.encode("utf-8"))
         claim.discard()
+
+
+def prune_stale_versions(root) -> list[tuple[str, int]]:
+    """Delete spool version directories left by older code versions.
+
+    The spool is code-versioned (see the module docstring): every code
+    change strands the previous version directory, along with any
+    pending/claimed/done payloads inside it, and nothing ever reclaims
+    them.  This is the garbage collector: it removes every version
+    directory under ``root`` other than the current
+    :func:`~repro.engine.cache.version_tag` and returns
+    ``(directory_name, files_removed)`` pairs, oldest-named first.
+    Best-effort like the cache's pruner — a file another process holds
+    open just survives until the next collection.  Only directories
+    whose names have the exact version-tag shape are touched
+    (:func:`~repro.engine.cache.is_version_dir_name`): anything else an
+    operator keeps beside the spool — a ``venv``, notes, other tools'
+    state — is not ours to delete.
+    """
+    path = validated_queue_root(root)
+    current = version_tag()
+    removed: list[tuple[str, int]] = []
+    try:
+        children = sorted(path.iterdir())
+    except OSError:
+        return removed
+    for child in children:
+        if not child.is_dir() or not is_version_dir_name(child.name) \
+                or child.name == current:
+            continue
+        count = 0
+        for entry in sorted(child.rglob("*"), reverse=True):
+            try:
+                if entry.is_dir():
+                    entry.rmdir()
+                else:
+                    entry.unlink()
+                    count += 1
+            except OSError:
+                pass
+        try:
+            child.rmdir()
+        except OSError:
+            pass
+        removed.append((child.name, count))
+    return removed
 
 
 def worker_identity() -> str:

@@ -40,6 +40,7 @@ import json
 import os
 import pathlib
 import pickle
+import re
 import tempfile
 import warnings
 from dataclasses import dataclass, field
@@ -101,6 +102,17 @@ def version_tag() -> str:
     results the runner's cache would consider current.
     """
     return f"v{CACHE_SCHEMA_VERSION}-{code_fingerprint()}"
+
+
+def is_version_dir_name(name: str) -> bool:
+    """Whether ``name`` has the exact shape :func:`version_tag` emits.
+
+    Garbage collectors (``cache --prune``, ``queue --gc``) must only
+    ever touch directories *we* created: a loose ``startswith("v")``
+    test would happily delete an operator's ``venv``/``vendor`` sitting
+    next to the spool or cache.
+    """
+    return re.fullmatch(r"v\d+-[0-9a-f]{16}", name) is not None
 
 
 def default_cache_root() -> pathlib.Path:
@@ -412,7 +424,7 @@ class ResultCache:
         except OSError:
             return 0
         for child in children:
-            if child.is_dir() and child.name.startswith("v") \
+            if child.is_dir() and is_version_dir_name(child.name) \
                     and child.name != current:
                 removed += _rmtree(child)
         return removed

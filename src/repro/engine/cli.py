@@ -1,10 +1,11 @@
 """Shared command-line wiring for the engine knobs.
 
-Every front end that exposes the engine (`python -m repro`, the example
-scripts, the benchmark conftest) takes the same knobs — worker count,
-on-disk cache opt-out and execution backend.  Defining the argparse
-arguments and the runner construction once keeps their validation and
-semantics from drifting across entry points.
+Every front end that exposes the engine (`python -m repro` — including
+the declarative ``repro run spec.toml`` driver — the example scripts,
+the benchmark conftest) takes the same knobs — worker count, on-disk
+cache opt-out and execution backend.  Defining the argparse arguments
+and the runner construction once keeps their validation and semantics
+from drifting across entry points.
 
 The cache built here honors ``$REPRO_CACHE_MAX_BYTES``
 (:meth:`ResultCache.default`): per-trace sharding multiplies entry

@@ -1,0 +1,337 @@
+"""The named-artifact registry: one renderer per paper artifact.
+
+Every artifact of the evaluation — Table 1, the simulated figures, the
+Section 5.3 energy example, the overhead report, the DVFS scenarios —
+is registered here under a stable name, so a spec file lists artifacts
+by name and ``repro run`` renders whatever the spec asks for.  The row
+builders in this module are the *single* implementation: the legacy
+entry points (:func:`repro.analysis.table1.build_table1`,
+:func:`repro.analysis.figures.figure11b_series`, ...) are thin wrappers
+over them, which is what keeps spec-driven and legacy regenerations
+bit-identical.
+
+Builders come in two layers:
+
+* ``*_rows``/``*_cases`` functions take a :class:`VccSweep` (plus
+  explicit grids) and contain the actual computation — callable from
+  the wrappers without an :class:`Experiment`;
+* the registry's ``build`` hooks adapt those functions to an
+  :class:`~repro.experiments.experiment.Experiment`, pulling grids and
+  knobs from its spec.
+
+Every simulation an artifact needs is declared by the matching
+``*_jobs`` planner, so :meth:`Experiment.run` submits the whole
+campaign as one engine batch and rendering afterwards is pure
+memo-lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import PointResult
+from repro.analysis.sweep import VccSweep
+from repro.baselines.extra_bypass import ExtraBypassBaseline
+from repro.baselines.faulty_bits import FaultyBitsBaseline
+from repro.baselines.freq_scaling import FrequencyScalingBaseline
+from repro.circuits.area import AreaModel
+from repro.circuits.energy import EnergyModel, paper_450mv_example
+from repro.circuits.frequency import ClockScheme
+from repro.engine.jobs import Job
+from repro.errors import ConfigError
+
+#: Vcc of the Section 5.3 joule-accounting example.
+ENERGY_EXAMPLE_VCC = 450.0
+
+#: Vcc of the energy model's leakage calibration point (Section 5.1).
+ENERGY_CALIBRATION_VCC = 600.0
+
+
+# ----------------------------------------------------------------------
+# Row builders (the single implementation behind the legacy wrappers)
+# ----------------------------------------------------------------------
+
+def table1_jobs(sweep: VccSweep, vcc_mv: float) -> list[Job]:
+    """The four population evaluations behind Table 1, as engine jobs."""
+    options = sweep.point_options()
+    return [
+        sweep.job_for(vcc_mv, ClockScheme.BASELINE),
+        sweep.job_for(vcc_mv, ClockScheme.IRAW),
+        Job(kind="faulty-bits", vcc_mv=vcc_mv, scheme="faulty-bits",
+            population=sweep.population, options=options),
+        Job(kind="extra-bypass", vcc_mv=vcc_mv, scheme="extra-bypass",
+            population=sweep.population,
+            options=options + (("hypothetical_rf_only", True),)),
+    ]
+
+
+def table1_rows(sweep: VccSweep, vcc_mv: float = 500.0) -> list[dict]:
+    """Evaluate IRAW and both state-of-the-art alternatives at ``vcc_mv``."""
+    solver = sweep.solver
+    baseline, iraw, faulty_result, bypass_result = sweep.runner.run(
+        table1_jobs(sweep, vcc_mv), label=f"table1@{vcc_mv:g}mV")
+
+    freq_scaling = FrequencyScalingBaseline(solver)
+    faulty = FaultyBitsBaseline(solver)
+    bypass = ExtraBypassBaseline(solver)
+
+    # Faulty Bits: honest clock (register-file bound) + degraded caches;
+    # the executor reports the disabled-line fractions via ``extras``.
+    disabled_report = dict(faulty_result.extras)
+    faulty_hypothetical = faulty.operating_point(
+        vcc_mv, hypothetical_all_blocks=True)
+
+    # Extra Bypass: hypothetical RF-only variant at the logic clock with
+    # multi-cycle write-port contention.
+    bypass_point = bypass_result.point
+
+    def gain(point) -> float:
+        return point.frequency_mhz / baseline.point.frequency_mhz - 1.0
+
+    def ipc_impact(result: PointResult) -> float:
+        return 1.0 - result.ipc / baseline.ipc if baseline.ipc else 0.0
+
+    iraw_area = AreaModel().report().area_overhead
+    rows = [
+        {
+            "technique": "IRAW avoidance (this paper)",
+            "works_all_blocks": True,
+            "adapts_multiple_vcc": True,
+            "honest_freq_gain": gain(iraw.point),
+            "hypothetical_freq_gain": gain(iraw.point),
+            "ipc_impact": ipc_impact(iraw),
+            "area_overhead": iraw_area,
+            "hard_to_test": False,
+        },
+        {
+            "technique": "Faulty Bits [1,22,26]",
+            "works_all_blocks": False,
+            "adapts_multiple_vcc": "costly",
+            "honest_freq_gain": gain(faulty_result.point),
+            "hypothetical_freq_gain": gain(faulty_hypothetical),
+            "ipc_impact": ipc_impact(faulty_result),
+            "area_overhead": faulty.area_overhead(),
+            "hard_to_test": True,
+        },
+        {
+            "technique": "Extra Bypass [3,4,20]",
+            "works_all_blocks": False,
+            "adapts_multiple_vcc": False,
+            "honest_freq_gain": gain(bypass.operating_point(vcc_mv)),
+            "hypothetical_freq_gain": gain(bypass_point),
+            "ipc_impact": ipc_impact(bypass_result),
+            # Latches sized for the design minimum Vcc, paid everywhere.
+            "area_overhead": bypass.area_overhead(),
+            "hard_to_test": False,
+        },
+        {
+            "technique": "frequency scaling (baseline)",
+            "works_all_blocks": True,
+            "adapts_multiple_vcc": True,
+            "honest_freq_gain": 0.0,
+            "hypothetical_freq_gain": 0.0,
+            "ipc_impact": 0.0,
+            "area_overhead": freq_scaling.area_overhead(),
+            "hard_to_test": False,
+        },
+    ]
+    for row in rows:
+        row["disabled_lines"] = disabled_report.get("DL0", 0.0) \
+            if row["technique"].startswith("Faulty") else 0.0
+    return rows
+
+
+def fig11b_jobs(sweep: VccSweep, grid) -> list[Job]:
+    """The (Vcc x {baseline, iraw}) grid behind Figure 11(b)."""
+    return [sweep.job_for(vcc, scheme) for vcc in grid
+            for scheme in (ClockScheme.BASELINE, ClockScheme.IRAW)]
+
+
+def fig11b_rows(sweep: VccSweep, grid) -> list[dict]:
+    """Figure 11(b): frequency increase and performance gain per Vcc."""
+    grid = list(grid)
+    sweep.run_points([(vcc, scheme) for vcc in grid
+                      for scheme in (ClockScheme.BASELINE,
+                                     ClockScheme.IRAW)],
+                     label="figure11b")
+    return [sweep.compare(vcc) for vcc in grid]
+
+
+def calibrated_energy_model(sweep: VccSweep) -> EnergyModel:
+    """An :class:`EnergyModel` whose reference task is the sweep's own
+    population: the baseline run at 600 mV defines the execution time at
+    which leakage is 10% of total energy (paper Section 5.1)."""
+    reference = sweep.run_point(ENERGY_CALIBRATION_VCC,
+                                ClockScheme.BASELINE)
+    return EnergyModel(reference_dynamic_j=0.9,
+                       reference_time_s=reference.execution_time_s)
+
+
+def fig12_jobs(sweep: VccSweep, grid) -> list[Job]:
+    """Figure 12's grid plus the 600 mV energy-calibration point."""
+    return fig11b_jobs(sweep, grid) + [
+        sweep.job_for(ENERGY_CALIBRATION_VCC, ClockScheme.BASELINE)]
+
+
+def fig12_rows(sweep: VccSweep, grid,
+               energy: EnergyModel | None = None) -> list[dict]:
+    """Figure 12: IRAW energy/delay/EDP relative to the baseline per Vcc."""
+    grid = list(grid)
+    sweep.run_points([(vcc, scheme) for vcc in grid
+                      for scheme in (ClockScheme.BASELINE,
+                                     ClockScheme.IRAW)],
+                     label="figure12")
+    energy = energy or calibrated_energy_model(sweep)
+    rows = []
+    for vcc in grid:
+        baseline_time, iraw_time = sweep.execution_times(vcc)
+        rows.append(energy.relative_metrics(vcc, baseline_time, iraw_time))
+    return rows
+
+
+def energy450_jobs(sweep: VccSweep) -> list[Job]:
+    """The three 450 mV points plus the calibration point."""
+    return [
+        sweep.job_for(ENERGY_EXAMPLE_VCC, ClockScheme.LOGIC),
+        sweep.job_for(ENERGY_EXAMPLE_VCC, ClockScheme.BASELINE),
+        sweep.job_for(ENERGY_EXAMPLE_VCC, ClockScheme.IRAW),
+        sweep.job_for(ENERGY_CALIBRATION_VCC, ClockScheme.BASELINE),
+    ]
+
+
+def energy450_cases(sweep: VccSweep,
+                    energy: EnergyModel | None = None) -> dict[str, dict]:
+    """The paper's Section 5.3 joule-accounting example at 450 mV."""
+    energy = energy or calibrated_energy_model(sweep)
+    unconstrained, baseline, iraw = sweep.run_points(
+        [(ENERGY_EXAMPLE_VCC, ClockScheme.LOGIC),
+         (ENERGY_EXAMPLE_VCC, ClockScheme.BASELINE),
+         (ENERGY_EXAMPLE_VCC, ClockScheme.IRAW)],
+        label="energy-example@450mV")
+    breakdowns = paper_450mv_example(
+        energy,
+        unconstrained_time_s=unconstrained.execution_time_s,
+        baseline_time_s=baseline.execution_time_s,
+        iraw_time_s=iraw.execution_time_s,
+    )
+    return {
+        name: {
+            "total_j": b.total_j,
+            "leakage_j": b.leakage_j,
+            "dynamic_j": b.dynamic_j,
+        }
+        for name, b in breakdowns.items()
+    }
+
+
+def overhead_rows() -> list[dict]:
+    """Section 5.3: area and power overhead of the IRAW hardware."""
+    report = AreaModel().report()
+    return [{
+        "extra_bits": report.extra_bits,
+        "extra_transistors": report.extra_transistors,
+        "area_overhead": report.area_overhead,
+        "power_overhead": report.power_overhead,
+    }]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Artifact:
+    """One renderable evaluation artifact.
+
+    ``jobs(experiment)`` plans the engine jobs the artifact needs (so
+    the driver batches every artifact's work together);
+    ``build(experiment)`` renders the rows afterwards, entirely from
+    memoized results.
+    """
+
+    name: str
+    title: str
+    description: str
+    jobs: callable
+    build: callable
+
+
+def _dvfs_rows(experiment) -> list[dict]:
+    """One row per (schedule, scheme), with within-schedule speedups."""
+    outcomes = experiment.dvfs_outcomes()
+    baseline_times = {
+        schedule.name: outcome.total_time_s
+        for schedule, scheme, outcome in outcomes
+        if scheme == ClockScheme.BASELINE.value}
+    rows = []
+    for schedule, scheme, outcome in outcomes:
+        reference = baseline_times.get(schedule.name)
+        rows.append({
+            "schedule": schedule.name,
+            "scheme": scheme,
+            "trace": schedule.trace.label,
+            "phases": len(outcome.phases),
+            "transitions": outcome.transitions,
+            "instructions": outcome.instructions,
+            "total_time_ms": outcome.total_time_s * 1e3,
+            "speedup_vs_baseline":
+                reference / outcome.total_time_s if reference else 1.0,
+        })
+    return rows
+
+
+ARTIFACTS: dict[str, Artifact] = {
+    "table1": Artifact(
+        name="table1",
+        title="Table 1",
+        description="IRAW vs Faulty Bits vs Extra Bypass vs frequency "
+                    "scaling, quantified at one Vcc",
+        jobs=lambda e: table1_jobs(e.sweep, e.spec.table1_vcc_mv),
+        build=lambda e: table1_rows(e.sweep, e.spec.table1_vcc_mv),
+    ),
+    "fig11b": Artifact(
+        name="fig11b",
+        title="Figure 11(b)",
+        description="frequency increase and performance gain vs Vcc",
+        jobs=lambda e: fig11b_jobs(e.sweep, e.spec.grid()),
+        build=lambda e: fig11b_rows(e.sweep, e.spec.grid()),
+    ),
+    "fig12": Artifact(
+        name="fig12",
+        title="Figure 12",
+        description="relative energy / delay / EDP vs Vcc",
+        jobs=lambda e: fig12_jobs(e.sweep, e.spec.grid()),
+        build=lambda e: fig12_rows(e.sweep, e.spec.grid()),
+    ),
+    "energy450": Artifact(
+        name="energy450",
+        title="Energy example @450mV",
+        description="Section 5.3 joule accounting at 450 mV",
+        jobs=lambda e: energy450_jobs(e.sweep),
+        build=lambda e: [{"case": name, **values} for name, values
+                         in energy450_cases(e.sweep).items()],
+    ),
+    "overheads": Artifact(
+        name="overheads",
+        title="IRAW hardware overheads",
+        description="Section 5.3 area / power overhead report",
+        jobs=lambda e: [],
+        build=lambda e: overhead_rows(),
+    ),
+    "dvfs": Artifact(
+        name="dvfs",
+        title="DVFS scenarios",
+        description="scheduled Vcc switching with per-scheme totals",
+        jobs=lambda e: e.dvfs_jobs(),
+        build=_dvfs_rows,
+    ),
+}
+
+
+def artifact(name: str) -> Artifact:
+    """Look up a registered artifact by name."""
+    try:
+        return ARTIFACTS[name]
+    except KeyError:
+        raise ConfigError(f"unknown artifact {name!r}; known: "
+                          f"{', '.join(sorted(ARTIFACTS))}") from None

@@ -1,0 +1,238 @@
+"""The single driver compiling an :class:`ExperimentSpec` into results.
+
+``Experiment.run(runner)`` is the one execution path for every artifact
+family: it plans the union of engine jobs the spec implies — the
+(Vcc x scheme) grid, ablation points, Table 1's baseline jobs, the
+energy-example points, DVFS schedules — submits them as **one** engine
+batch (per-trace sharding, dedup, caching and backend selection all
+come from the engine), and folds the results into a
+:class:`~repro.experiments.resultset.ResultSet` of flat records.
+Artifact rendering afterwards (:meth:`Experiment.artifact`) is pure
+memo-lookup on the same runner, so ``run`` pays for every simulation
+exactly once no matter how many artifacts share points.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dvfs import ScheduleSpec, schedule_job
+from repro.analysis.sweep import VccSweep
+from repro.circuits.frequency import ClockScheme
+from repro.engine.jobs import Job, job_key
+from repro.engine.runner import ParallelRunner
+from repro.errors import ConfigError
+from repro.experiments.artifacts import ARTIFACTS
+from repro.experiments.resultset import Record, ResultSet
+from repro.experiments.spec import ExperimentSpec
+
+
+class Experiment:
+    """A spec bound to a runner: plan, execute, render.
+
+    Parameters
+    ----------
+    spec:
+        The declarative campaign description.
+    runner:
+        The execution engine.  Defaults to a hermetic serial runner;
+        pass ``ParallelRunner(workers=N, cache=ResultCache.default())``
+        (or a queue-backed runner) for parallel, persistent campaigns.
+    """
+
+    def __init__(self, spec: ExperimentSpec,
+                 runner: ParallelRunner | None = None):
+        self.spec = spec
+        self.runner = runner or ParallelRunner()
+        self._sweep: VccSweep | None = None
+        self.results: ResultSet | None = None
+
+    @property
+    def sweep(self) -> VccSweep:
+        """The population sweep the spec implies (lazily built)."""
+        if self._sweep is None:
+            if not self.spec.profiles:
+                raise ConfigError(
+                    f"experiment {self.spec.name!r} has no trace "
+                    f"population; only dvfs artifacts can run")
+            self._sweep = VccSweep(self.spec.sweep_settings(),
+                                   runner=self.runner)
+        return self._sweep
+
+    @property
+    def stats(self):
+        """Engine counters (simulations, memo/disk hits) for this run."""
+        return self.runner.stats
+
+    # -- planning ------------------------------------------------------
+
+    def grid_points(self) -> list[tuple[float, str, str]]:
+        """Every (vcc_mv, scheme, variant) point of the campaign grid.
+
+        Empty for a population-less (dvfs-only) spec: there is no sweep
+        to evaluate grid points on.
+        """
+        if not self.spec.profiles:
+            return []
+        points = [(vcc, scheme, "")
+                  for vcc in self.spec.grid()
+                  for scheme in self.spec.schemes]
+        points.extend(
+            (vcc, ablation.scheme, ablation.name)
+            for ablation in self.spec.ablations
+            for vcc in self.spec.grid())
+        return points
+
+    def _grid_job(self, vcc_mv: float, scheme: str, variant: str) -> Job:
+        overrides = {}
+        for ablation in self.spec.ablations:
+            if ablation.name == variant:
+                overrides = dict(ablation.overrides)
+        return self.sweep.job_for(vcc_mv, ClockScheme(scheme), **overrides)
+
+    def dvfs_jobs(self) -> list[Job]:
+        """One engine job per (schedule, scheme), in spec order."""
+        jobs = []
+        for schedule in self.spec.dvfs:
+            for scheme in schedule.schemes:
+                spec = ScheduleSpec(trace=schedule.trace,
+                                    phases=schedule.phases,
+                                    scheme=ClockScheme(scheme))
+                jobs.append(schedule_job(
+                    spec,
+                    solver=self.sweep.solver if self.spec.profiles
+                    else None,
+                    params=self.spec.pipeline_params(),
+                    memory=self.spec.memory_config(),
+                    dram_latency_ns=self.spec.dram_latency_ns,
+                    warm=self.spec.warm,
+                ))
+        return jobs
+
+    def plan(self) -> list[Job]:
+        """The full engine batch of the campaign (duplicates and all —
+        the runner deduplicates by canonical key at submission)."""
+        jobs = [self._grid_job(*point) for point in self.grid_points()]
+        for name in self.spec.artifacts:
+            jobs.extend(ARTIFACTS[name].jobs(self))
+        if "dvfs" not in self.spec.artifacts:
+            jobs.extend(self.dvfs_jobs())
+        return jobs
+
+    def plan_keys(self) -> list[str]:
+        """Canonical job keys of the plan (spec-identity fingerprint)."""
+        return [job_key(job) for job in self.plan()]
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, runner: ParallelRunner | None = None) -> ResultSet:
+        """Execute the whole campaign as one batch; returns the records.
+
+        ``runner`` rebinds the experiment before running (convenience
+        for ``Experiment(spec).run(my_runner)``).  The ResultSet is also
+        stored at :attr:`results`; artifacts rendered afterwards reuse
+        the runner's memo and simulate nothing new.
+        """
+        if runner is not None:
+            self.runner = runner
+            self._sweep = None
+        jobs = self.plan()
+        self.runner.run(jobs, label=self.spec.name)
+        self.results = self._collect()
+        return self.results
+
+    def _collect(self) -> ResultSet:
+        records = [self._point_record(vcc, scheme, variant)
+                   for vcc, scheme, variant in self.grid_points()]
+        if "table1" in self.spec.artifacts:
+            records.extend(self._table1_records())
+        records.extend(
+            Record(kind="dvfs-schedule", scheme=scheme,
+                   vcc_mv=0.0, variant=schedule.name,
+                   trace=schedule.trace.label,
+                   metrics={
+                       "total_time_s": outcome.total_time_s,
+                       "transition_time_s": outcome.transition_time_s,
+                       "transitions": outcome.transitions,
+                       "instructions": outcome.instructions,
+                       "phases": len(outcome.phases),
+                   })
+            for schedule, scheme, outcome in self.dvfs_outcomes())
+        return ResultSet(records)
+
+    def _point_record(self, vcc_mv: float, scheme: str,
+                      variant: str) -> Record:
+        result = self._result_of(self._grid_job(vcc_mv, scheme, variant))
+        return Record(kind="sweep-point", scheme=scheme, vcc_mv=vcc_mv,
+                      variant=variant, metrics=_point_metrics(result))
+
+    def _table1_records(self) -> list[Record]:
+        from repro.experiments.artifacts import table1_jobs
+
+        # Table 1's baseline/IRAW points usually coincide with grid
+        # records, but an off-grid table1_vcc_mv is legal — those points
+        # were simulated and must not silently vanish from the export.
+        covered = {(vcc, scheme) for vcc, scheme, variant
+                   in self.grid_points() if not variant}
+        records = []
+        for job in table1_jobs(self.sweep, self.spec.table1_vcc_mv):
+            if job.kind == "sweep-point" \
+                    and (job.vcc_mv, job.scheme) in covered:
+                continue  # already present as a grid record
+            result = self._result_of(job)
+            records.append(Record(kind=job.kind, scheme=job.scheme,
+                                  vcc_mv=job.vcc_mv,
+                                  metrics=_point_metrics(result)))
+        return records
+
+    def dvfs_outcomes(self):
+        """Every (schedule, scheme, DvfsOutcome) of the spec, in order."""
+        jobs = iter(self.dvfs_jobs())
+        outcomes = []
+        for schedule in self.spec.dvfs:
+            for scheme in schedule.schemes:
+                outcomes.append(
+                    (schedule, scheme, self._result_of(next(jobs))))
+        return outcomes
+
+    def _result_of(self, job: Job):
+        result = self.runner.cached_result(job)
+        if result is None:
+            # Lazy convenience: artifacts rendered without an explicit
+            # run() resolve their own jobs through the same memo.
+            result = self.runner.run_one(job)
+        return result
+
+    # -- rendering -----------------------------------------------------
+
+    def artifact(self, name: str):
+        """Render one named artifact (rows) from the registry."""
+        if name not in ARTIFACTS:
+            raise ConfigError(f"unknown artifact {name!r}; known: "
+                              f"{', '.join(sorted(ARTIFACTS))}")
+        return ARTIFACTS[name].build(self)
+
+    def artifacts(self) -> dict[str, list]:
+        """Render every artifact the spec lists, in spec order."""
+        return {name: self.artifact(name) for name in self.spec.artifacts}
+
+
+def run_spec(spec: ExperimentSpec,
+             runner: ParallelRunner | None = None) -> Experiment:
+    """One-call convenience: bind, run, and return the experiment."""
+    experiment = Experiment(spec, runner=runner)
+    experiment.run()
+    return experiment
+
+
+def _point_metrics(result) -> dict:
+    """The flat numeric columns of one population PointResult."""
+    return {
+        "frequency_mhz": result.point.frequency_mhz,
+        "stabilization_cycles": result.point.stabilization_cycles,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "execution_time_s": result.execution_time_s,
+        "iraw_delay_fraction": result.mean_iraw_delay_fraction,
+        "iraw_violations": result.iraw_violations,
+        "traces": len(result.results),
+    }

@@ -1,0 +1,222 @@
+"""Structured experiment results: flat typed records with query helpers.
+
+:class:`ResultSet` is the data product of
+:meth:`repro.experiments.experiment.Experiment.run`: one flat
+:class:`Record` per evaluated unit (a (Vcc, scheme) population point, an
+ablation point, a Table 1 baseline, a DVFS scenario run), with
+spreadsheet-style helpers — equality ``filter``, predicate ``where``,
+``group_by``, ``pivot`` — and lossless CSV/JSON export.  Artifact
+rendering (Table 1 rows, Figure 11(b) series...) happens elsewhere, from
+the engine's full-fidelity results; the ResultSet is the uniform,
+serializable view every consumer can post-process without knowing which
+harness produced it.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Identity columns every record carries (in export order).
+IDENTITY_FIELDS = ("kind", "scheme", "vcc_mv", "variant", "trace")
+
+
+@dataclass(frozen=True)
+class Record:
+    """One flat result row.
+
+    Attributes
+    ----------
+    kind:
+        The engine job kind that produced the row (``sweep-point``,
+        ``faulty-bits``, ``extra-bypass``, ``dvfs-schedule``).
+    scheme / vcc_mv:
+        The evaluation point.  DVFS rows span several Vcc levels and
+        report ``vcc_mv`` 0.0 (their phases carry the levels).
+    variant:
+        The named ablation or DVFS schedule this row belongs to
+        (empty for plain grid points).
+    trace:
+        The trace label for single-trace rows (DVFS); empty for
+        whole-population rows.
+    metrics:
+        Sorted ``(name, value)`` pairs of numeric results.
+    """
+
+    kind: str
+    scheme: str
+    vcc_mv: float
+    variant: str = ""
+    trace: str = ""
+    metrics: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "metrics",
+            tuple(sorted((str(k), v) for k, v
+                         in dict(self.metrics).items())))
+
+    def get(self, name: str, default=None):
+        """Identity field or metric value by column name."""
+        if name in IDENTITY_FIELDS:
+            return getattr(self, name)
+        for key, value in self.metrics:
+            if key == name:
+                return value
+        return default
+
+    def __getitem__(self, name: str):
+        missing = object()
+        value = self.get(name, missing)
+        if value is missing:
+            raise KeyError(name)
+        return value
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name, None) is not None or name in IDENTITY_FIELDS
+
+    def as_dict(self) -> dict:
+        """The flat row: identity columns first, then metrics."""
+        row = {name: getattr(self, name) for name in IDENTITY_FIELDS}
+        row.update(self.metrics)
+        return row
+
+
+class ResultSet:
+    """An immutable, queryable sequence of :class:`Record` rows."""
+
+    def __init__(self, records=()):
+        self._records: tuple[Record, ...] = tuple(records)
+        for record in self._records:
+            if not isinstance(record, Record):
+                raise ConfigError(
+                    f"ResultSet rows must be Records, got "
+                    f"{type(record).__name__}")
+
+    # -- sequence protocol ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ResultSet(self._records[index])
+        return self._records[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ResultSet):
+            return self._records == other._records
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"ResultSet({len(self._records)} records)"
+
+    @property
+    def records(self) -> tuple[Record, ...]:
+        return self._records
+
+    @property
+    def columns(self) -> list[str]:
+        """Identity columns plus every metric name, first-seen order."""
+        names = list(IDENTITY_FIELDS)
+        for record in self._records:
+            for key, _ in record.metrics:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    # -- querying ------------------------------------------------------
+
+    def filter(self, **criteria) -> "ResultSet":
+        """Rows whose columns equal every given value.
+
+        ``results.filter(scheme="iraw", vcc_mv=500.0)``
+        """
+        return ResultSet(
+            record for record in self._records
+            if all(record.get(name) == value
+                   for name, value in criteria.items()))
+
+    def where(self, predicate) -> "ResultSet":
+        """Rows for which ``predicate(record)`` is truthy."""
+        return ResultSet(record for record in self._records
+                         if predicate(record))
+
+    def group_by(self, *names) -> dict:
+        """Rows grouped by the value tuple of ``names`` (insertion order).
+
+        Single-column grouping keys by the bare value, multi-column by
+        the tuple: ``results.group_by("scheme")[\"iraw\"]``.
+        """
+        if not names:
+            raise ConfigError("group_by needs at least one column")
+        groups: dict = {}
+        for record in self._records:
+            key = tuple(record.get(name) for name in names)
+            if len(names) == 1:
+                key = key[0]
+            groups.setdefault(key, []).append(record)
+        return {key: ResultSet(rows) for key, rows in groups.items()}
+
+    def pivot(self, index: str, columns: str, values: str) -> list[dict]:
+        """Spreadsheet pivot: one row per ``index`` value, one column per
+        distinct ``columns`` value, cells from ``values``.
+
+        ``results.pivot("vcc_mv", "scheme", "ipc")`` gives rows like
+        ``{"vcc_mv": 500.0, "baseline": 0.61, "iraw": 0.55}``.  A
+        duplicate (index, column) cell is a spec-level ambiguity and
+        raises; missing cells are ``None``.
+        """
+        column_names: list = []
+        table: dict = {}
+        for record in self._records:
+            row_key = record.get(index)
+            column_key = record.get(columns)
+            if column_key not in column_names:
+                column_names.append(column_key)
+            row = table.setdefault(row_key, {})
+            if column_key in row:
+                raise ConfigError(
+                    f"pivot cell ({index}={row_key!r}, "
+                    f"{columns}={column_key!r}) is ambiguous: filter the "
+                    f"ResultSet first")
+            row[column_key] = record.get(values)
+        return [
+            {index: row_key, **{str(name): row.get(name)
+                                for name in column_names}}
+            for row_key, row in table.items()
+        ]
+
+    # -- export --------------------------------------------------------
+
+    def rows(self) -> list[dict]:
+        """Every record as a flat dict (identity + metrics)."""
+        return [record.as_dict() for record in self._records]
+
+    def to_json(self, path=None) -> str:
+        """JSON array of flat rows; also written to ``path`` if given."""
+        text = json.dumps(self.rows(), indent=2, sort_keys=True) + "\n"
+        if path is not None:
+            pathlib.Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    def to_csv(self, path=None) -> str:
+        """CSV with the union of all columns; missing cells stay empty."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=self.columns,
+                                restval="", lineterminator="\n")
+        writer.writeheader()
+        for record in self._records:
+            writer.writerow(record.as_dict())
+        text = buffer.getvalue()
+        if path is not None:
+            pathlib.Path(path).write_text(text, encoding="utf-8")
+        return text

@@ -1,0 +1,439 @@
+"""Declarative, serializable experiment specifications.
+
+An :class:`ExperimentSpec` is the single description of one evaluation
+campaign: which trace population to simulate, which (Vcc, scheme) grid
+to cover, which ablations and DVFS schedules to add, and which named
+artifacts (see :mod:`repro.experiments.artifacts`) to render from the
+results.  Specs are frozen plain data — every field round-trips through
+``to_dict``/``from_dict`` and therefore through TOML and JSON files
+(:meth:`ExperimentSpec.load` / :meth:`ExperimentSpec.save`), and two
+specs that describe the same campaign compile to engine jobs with
+identical canonical keys, so a spec file is as cacheable an identity as
+a hand-written harness.
+
+The spec layer deliberately knows nothing about execution: compiling a
+spec into engine job batches and running them is
+:class:`repro.experiments.experiment.Experiment`'s job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.analysis.dvfs import DvfsPhase
+from repro.analysis.sweep import SweepSettings
+from repro.circuits import constants
+from repro.circuits.ekv import voltage_grid
+from repro.circuits.frequency import ClockScheme
+from repro.engine.jobs import TraceSpec
+from repro.errors import ConfigError
+from repro.memory.hierarchy import MemoryConfig
+from repro.pipeline.resources import PipelineParams
+from repro.workloads.profiles import PROFILES_BY_NAME, STANDARD_PROFILES
+
+#: Names the artifact registry must serve (kept here so spec validation
+#: needs no import of the registry; the registry test asserts parity).
+KNOWN_ARTIFACTS = ("table1", "fig11b", "fig12", "energy450", "overheads",
+                   "dvfs")
+
+_SCHEME_NAMES = tuple(scheme.value for scheme in ClockScheme)
+
+
+@dataclass(frozen=True)
+class AblationSpec:
+    """One named what-if: IRAW with some mechanisms switched off.
+
+    ``overrides`` are the keyword switches of
+    :meth:`IrawConfig.for_operating_point` (``rf_enabled``,
+    ``iq_enabled``, ``cache_guards_enabled``, ``stable_enabled``, ...),
+    evaluated across the spec's whole Vcc grid under ``scheme``.
+    """
+
+    name: str
+    overrides: tuple = ()
+    scheme: str = ClockScheme.IRAW.value
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("ablation needs a name")
+        _check_scheme(self.scheme, f"ablation {self.name!r}")
+        object.__setattr__(self, "overrides",
+                           tuple(sorted((str(k), v) for k, v
+                                        in dict(self.overrides).items())))
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "scheme": self.scheme,
+                "overrides": dict(self.overrides)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AblationSpec":
+        data = _checked_keys(data, {"name", "scheme", "overrides"},
+                             "ablation")
+        return cls(name=str(data.get("name", "")),
+                   scheme=str(data.get("scheme", ClockScheme.IRAW.value)),
+                   overrides=tuple(dict(data.get("overrides", {})).items()))
+
+
+@dataclass(frozen=True)
+class DvfsScheduleSpec:
+    """One named DVFS scenario: a trace through Vcc phases, per scheme."""
+
+    name: str
+    trace: TraceSpec
+    phases: tuple[DvfsPhase, ...]
+    schemes: tuple[str, ...] = (ClockScheme.BASELINE.value,
+                                ClockScheme.IRAW.value)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("dvfs schedule needs a name")
+        object.__setattr__(self, "phases", tuple(self.phases))
+        object.__setattr__(self, "schemes",
+                           tuple(str(s) for s in self.schemes))
+        if not self.phases:
+            raise ConfigError(f"dvfs schedule {self.name!r} needs at "
+                              f"least one phase")
+        if not self.schemes:
+            raise ConfigError(f"dvfs schedule {self.name!r} needs at "
+                              f"least one scheme")
+        for scheme in self.schemes:
+            _check_scheme(scheme, f"dvfs schedule {self.name!r}")
+        covered = sum(phase.instructions for phase in self.phases)
+        length = self.trace.length if self.trace.source == "synthetic" \
+            else None
+        if length is not None and covered != length:
+            raise ConfigError(
+                f"dvfs schedule {self.name!r} covers {covered} "
+                f"instructions but its trace has {length}")
+
+    def to_dict(self) -> dict:
+        trace: dict = {"source": self.trace.source}
+        if self.trace.source == "synthetic":
+            trace.update(profile=self.trace.profile.name,
+                         seed=self.trace.seed, length=self.trace.length)
+        else:
+            trace.update(kernel=self.trace.kernel, size=self.trace.size)
+        return {
+            "name": self.name,
+            "schemes": list(self.schemes),
+            "trace": trace,
+            "phases": [{"vcc_mv": p.vcc_mv, "instructions": p.instructions}
+                       for p in self.phases],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DvfsScheduleSpec":
+        data = _checked_keys(data, {"name", "schemes", "trace", "phases"},
+                             "dvfs schedule")
+        trace_data = dict(data.get("trace", {}))
+        source = str(trace_data.pop("source", "synthetic"))
+        if source == "synthetic":
+            trace = TraceSpec.synthetic(
+                _profile(trace_data.pop("profile", None), "dvfs trace"),
+                seed=int(trace_data.pop("seed", 0)),
+                length=int(trace_data.pop("length", 6_000)))
+        elif source == "kernel":
+            trace = TraceSpec.for_kernel(
+                str(trace_data.pop("kernel", "")),
+                size=int(trace_data.pop("size", 32)))
+        else:
+            raise ConfigError(f"unknown dvfs trace source {source!r}")
+        if trace_data:
+            raise ConfigError(f"unknown dvfs trace keys: "
+                              f"{sorted(trace_data)}")
+        phases = tuple(
+            DvfsPhase(vcc_mv=float(p["vcc_mv"]),
+                      instructions=int(p["instructions"]))
+            for p in data.get("phases", ()))
+        kwargs = {}
+        if "schemes" in data:
+            kwargs["schemes"] = tuple(str(s) for s in data["schemes"])
+        return cls(name=str(data.get("name", "")), trace=trace,
+                   phases=phases, **kwargs)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One declarative evaluation campaign (population + grid + artifacts).
+
+    The Vcc grid is either ``vcc_mv`` (an explicit list) or ``step_mv``
+    (the paper's 700→400 mV sweep in that step) — never both.  ``params``
+    and ``memory`` are sparse overrides applied on top of the default
+    :class:`~repro.pipeline.resources.PipelineParams` /
+    :class:`~repro.memory.hierarchy.MemoryConfig`, so spec files only
+    name what they change.
+    """
+
+    name: str = "experiment"
+    profiles: tuple[str, ...] = tuple(p.name for p in STANDARD_PROFILES)
+    seeds_per_profile: int = 1
+    trace_length: int = 12_000
+    vcc_mv: tuple[float, ...] = ()
+    step_mv: float | None = None
+    schemes: tuple[str, ...] = (ClockScheme.BASELINE.value,
+                                ClockScheme.IRAW.value)
+    table1_vcc_mv: float = 500.0
+    warm: bool = True
+    dram_latency_ns: float = constants.DRAM_LATENCY_NS
+    params: tuple = ()
+    memory: tuple = ()
+    ablations: tuple[AblationSpec, ...] = ()
+    dvfs: tuple[DvfsScheduleSpec, ...] = ()
+    artifacts: tuple[str, ...] = ("table1", "fig11b")
+    metadata: tuple = field(default=(), compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "profiles",
+                           tuple(str(p) for p in self.profiles))
+        object.__setattr__(self, "vcc_mv",
+                           tuple(float(v) for v in self.vcc_mv))
+        object.__setattr__(self, "schemes",
+                           tuple(str(s) for s in self.schemes))
+        object.__setattr__(self, "artifacts",
+                           tuple(str(a) for a in self.artifacts))
+        object.__setattr__(self, "ablations", tuple(self.ablations))
+        object.__setattr__(self, "dvfs", tuple(self.dvfs))
+        object.__setattr__(self, "params", _sorted_overrides(
+            self.params, PipelineParams, "params"))
+        object.__setattr__(self, "memory", _sorted_overrides(
+            self.memory, MemoryConfig, "memory"))
+        object.__setattr__(self, "metadata",
+                           tuple(sorted(dict(self.metadata).items())))
+        if not self.name:
+            raise ConfigError("experiment needs a name")
+        for profile in self.profiles:
+            _profile(profile, f"experiment {self.name!r}")
+        if not self.profiles and not self.dvfs:
+            raise ConfigError(f"experiment {self.name!r} has no "
+                              f"population and no dvfs schedules")
+        if self.seeds_per_profile < 1 or self.trace_length < 1:
+            raise ConfigError(f"experiment {self.name!r}: population "
+                              f"sizing must be positive")
+        if self.vcc_mv and self.step_mv is not None:
+            raise ConfigError(f"experiment {self.name!r}: give either "
+                              f"vcc_mv or step_mv, not both")
+        for scheme in self.schemes:
+            _check_scheme(scheme, f"experiment {self.name!r}")
+        if not self.schemes:
+            raise ConfigError(f"experiment {self.name!r} needs at least "
+                              f"one scheme")
+        for artifact in self.artifacts:
+            if artifact not in KNOWN_ARTIFACTS:
+                raise ConfigError(
+                    f"unknown artifact {artifact!r}; known: "
+                    f"{', '.join(KNOWN_ARTIFACTS)}")
+        if "dvfs" in self.artifacts and not self.dvfs:
+            raise ConfigError(f"experiment {self.name!r} renders the "
+                              f"'dvfs' artifact but defines no schedules")
+        names = [a.name for a in self.ablations] \
+            + [d.name for d in self.dvfs]
+        if len(names) != len(set(names)):
+            raise ConfigError(f"experiment {self.name!r}: ablation/dvfs "
+                              f"names must be unique")
+
+    # -- derived views --------------------------------------------------
+
+    def grid(self) -> tuple[float, ...]:
+        """The resolved Vcc grid (explicit list, else the paper sweep)."""
+        if self.vcc_mv:
+            return self.vcc_mv
+        return tuple(voltage_grid(self.step_mv
+                                  if self.step_mv is not None else 25.0))
+
+    def pipeline_params(self) -> PipelineParams:
+        return dataclasses.replace(PipelineParams(), **dict(self.params))
+
+    def memory_config(self) -> MemoryConfig:
+        return dataclasses.replace(MemoryConfig(), **dict(self.memory))
+
+    def sweep_settings(self) -> SweepSettings:
+        """The :class:`VccSweep` settings this spec's population implies."""
+        return SweepSettings(
+            profiles=tuple(PROFILES_BY_NAME[name]
+                           for name in self.profiles),
+            seeds_per_profile=self.seeds_per_profile,
+            trace_length=self.trace_length,
+            warm=self.warm,
+            dram_latency_ns=self.dram_latency_ns,
+            params=self.pipeline_params(),
+            memory=self.memory_config(),
+        )
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data: dict = {
+            "name": self.name,
+            "artifacts": list(self.artifacts),
+            "population": {
+                "profiles": list(self.profiles),
+                "seeds_per_profile": self.seeds_per_profile,
+                "trace_length": self.trace_length,
+            },
+            "grid": {"schemes": list(self.schemes)},
+            "sweep": {"warm": self.warm,
+                      "dram_latency_ns": self.dram_latency_ns},
+            "table1": {"vcc_mv": self.table1_vcc_mv},
+        }
+        if self.vcc_mv:
+            data["grid"]["vcc_mv"] = list(self.vcc_mv)
+        if self.step_mv is not None:
+            data["grid"]["step_mv"] = self.step_mv
+        if self.params:
+            data["params"] = dict(self.params)
+        if self.memory:
+            data["memory"] = dict(self.memory)
+        if self.ablations:
+            data["ablations"] = [a.to_dict() for a in self.ablations]
+        if self.dvfs:
+            data["dvfs"] = [d.to_dict() for d in self.dvfs]
+        if self.metadata:
+            data["metadata"] = dict(self.metadata)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        data = _checked_keys(
+            dict(data),
+            {"name", "artifacts", "population", "grid", "sweep", "table1",
+             "params", "memory", "ablations", "dvfs", "metadata"},
+            "experiment")
+        population = _checked_keys(
+            dict(data.get("population", {})),
+            {"profiles", "seeds_per_profile", "trace_length"}, "population")
+        grid = _checked_keys(dict(data.get("grid", {})),
+                             {"vcc_mv", "step_mv", "schemes"}, "grid")
+        sweep = _checked_keys(dict(data.get("sweep", {})),
+                              {"warm", "dram_latency_ns"}, "sweep")
+        table1 = _checked_keys(dict(data.get("table1", {})), {"vcc_mv"},
+                               "table1")
+        kwargs: dict = {"name": str(data.get("name", "experiment"))}
+        if "artifacts" in data:
+            kwargs["artifacts"] = tuple(data["artifacts"])
+        if "profiles" in population:
+            kwargs["profiles"] = tuple(population["profiles"])
+        if "seeds_per_profile" in population:
+            kwargs["seeds_per_profile"] = int(
+                population["seeds_per_profile"])
+        if "trace_length" in population:
+            kwargs["trace_length"] = int(population["trace_length"])
+        if "vcc_mv" in grid:
+            kwargs["vcc_mv"] = tuple(float(v) for v in grid["vcc_mv"])
+        if "step_mv" in grid:
+            kwargs["step_mv"] = float(grid["step_mv"])
+        if "schemes" in grid:
+            kwargs["schemes"] = tuple(grid["schemes"])
+        if "warm" in sweep:
+            kwargs["warm"] = bool(sweep["warm"])
+        if "dram_latency_ns" in sweep:
+            kwargs["dram_latency_ns"] = float(sweep["dram_latency_ns"])
+        if "vcc_mv" in table1:
+            kwargs["table1_vcc_mv"] = float(table1["vcc_mv"])
+        if "params" in data:
+            kwargs["params"] = tuple(dict(data["params"]).items())
+        if "memory" in data:
+            kwargs["memory"] = tuple(dict(data["memory"]).items())
+        if "ablations" in data:
+            kwargs["ablations"] = tuple(AblationSpec.from_dict(a)
+                                        for a in data["ablations"])
+        if "dvfs" in data:
+            kwargs["dvfs"] = tuple(DvfsScheduleSpec.from_dict(d)
+                                   for d in data["dvfs"])
+        if "metadata" in data:
+            kwargs["metadata"] = tuple(dict(data["metadata"]).items())
+        return cls(**kwargs)
+
+    # -- file I/O -------------------------------------------------------
+
+    def to_toml(self) -> str:
+        from repro.experiments.specio import dumps_toml
+
+        return dumps_toml(self.to_dict())
+
+    @classmethod
+    def from_toml(cls, text: str) -> "ExperimentSpec":
+        from repro.experiments.specio import loads_toml
+
+        return cls.from_dict(loads_toml(text))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ConfigError(f"invalid JSON spec: {exc}") from None
+        if not isinstance(data, dict):
+            raise ConfigError("a JSON spec must be an object")
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path) -> "ExperimentSpec":
+        """Read a spec file; the format follows the suffix (.toml/.json)."""
+        path = pathlib.Path(path)
+        try:
+            text = path.read_text("utf-8")
+        except OSError as exc:
+            raise ConfigError(f"cannot read spec file {path}: {exc}")
+        if path.suffix == ".toml":
+            return cls.from_toml(text)
+        if path.suffix == ".json":
+            return cls.from_json(text)
+        raise ConfigError(f"unknown spec format {path.suffix!r} "
+                          f"(expected .toml or .json)")
+
+    def save(self, path) -> None:
+        """Write the spec to ``path`` (format from the suffix)."""
+        path = pathlib.Path(path)
+        if path.suffix == ".toml":
+            text = self.to_toml()
+        elif path.suffix == ".json":
+            text = self.to_json()
+        else:
+            raise ConfigError(f"unknown spec format {path.suffix!r} "
+                              f"(expected .toml or .json)")
+        path.write_text(text, encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# Shared validation helpers
+# ----------------------------------------------------------------------
+
+def _check_scheme(scheme: str, owner: str) -> None:
+    if scheme not in _SCHEME_NAMES:
+        raise ConfigError(f"{owner}: unknown clock scheme {scheme!r} "
+                          f"(known: {', '.join(_SCHEME_NAMES)})")
+
+
+def _profile(name, owner: str):
+    if name is None:
+        raise ConfigError(f"{owner}: missing trace profile")
+    try:
+        return PROFILES_BY_NAME[str(name)]
+    except KeyError:
+        raise ConfigError(
+            f"{owner}: unknown profile {name!r} (known: "
+            f"{', '.join(sorted(PROFILES_BY_NAME))})") from None
+
+
+def _sorted_overrides(overrides, config_type, owner: str) -> tuple:
+    items = sorted((str(k), v) for k, v in dict(overrides).items())
+    known = {field.name for field in dataclasses.fields(config_type)}
+    for key, _ in items:
+        if key not in known:
+            raise ConfigError(
+                f"{owner}: unknown {config_type.__name__} field {key!r}")
+    return tuple(items)
+
+
+def _checked_keys(data: dict, allowed: set, owner: str) -> dict:
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ConfigError(f"unknown {owner} spec keys: {unknown} "
+                          f"(allowed: {sorted(allowed)})")
+    return data

@@ -5,6 +5,155 @@ import pytest
 from repro.cli import main
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+        assert repro.__version__ == "1.1.0"
+
+
+class TestRunSpec:
+    @staticmethod
+    def write_spec(tmp_path, **overrides):
+        from repro.experiments import ExperimentSpec
+
+        defaults = dict(name="cli-spec", profiles=("kernel-like",),
+                        trace_length=400, vcc_mv=(500.0,),
+                        artifacts=("table1", "fig11b"))
+        defaults.update(overrides)
+        path = tmp_path / "spec.toml"
+        ExperimentSpec(**defaults).save(path)
+        return path
+
+    def test_run_renders_spec_artifacts(self, tmp_path, capsys):
+        path = self.write_spec(tmp_path)
+        assert main(["run", str(path), "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Figure 11(b)" in out
+        assert "trace shards simulated" in out
+
+    def test_run_artifact_selection_and_exports(self, tmp_path, capsys):
+        path = self.write_spec(tmp_path)
+        csv_path = tmp_path / "records.csv"
+        json_path = tmp_path / "records.json"
+        assert main(["run", str(path), "--no-cache",
+                     "--artifact", "fig11b",
+                     "--export-csv", str(csv_path),
+                     "--export-json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11(b)" in out and "Table 1" not in out
+        assert csv_path.read_text().startswith("kind,scheme,vcc_mv")
+        import json as json_module
+
+        rows = json_module.loads(json_path.read_text())
+        assert {row["scheme"] for row in rows} == {"baseline", "iraw"}
+
+    def test_dry_run_simulates_nothing(self, tmp_path, capsys):
+        path = self.write_spec(tmp_path)
+        assert main(["run", str(path), "--no-cache", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs:" in out and "artifacts:   table1, fig11b" in out
+        assert "simulated" not in out
+
+    def test_bad_spec_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.toml"
+        path.write_text('artifacts = ["table2"]\n')
+        assert main(["run", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_spec_file_exits_2(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "none.toml")]) == 2
+        assert "cannot read spec file" in capsys.readouterr().err
+
+    def test_example_specs_load(self, capsys):
+        """The checked-in example spec files stay valid (dry-run only)."""
+        assert main(["run", "examples/table1.toml", "--dry-run"]) == 0
+        assert main(["run", "examples/lowvcc_campaign.toml",
+                     "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment:  table1" in out
+        assert "experiment:  lowvcc-campaign" in out
+
+
+class TestQueueCommand:
+    def test_queue_reports_spool_state(self, tmp_path, capsys):
+        assert main(["queue", "--queue", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "spool root:" in out and "pending:" in out
+        assert "stale versions: 0" in out
+
+    def test_queue_gc_removes_stale_versions(self, tmp_path, capsys):
+        from repro.engine.cache import version_tag
+
+        stale = tmp_path / "v1-deadbeef00000000" / "pending"
+        stale.mkdir(parents=True)
+        (stale / "a.job").write_bytes(b"x")
+        (stale / "b.job").write_bytes(b"x")
+        current = tmp_path / version_tag() / "pending"
+        current.mkdir(parents=True)
+        (current / "keep.job").write_bytes(b"x")
+        assert main(["queue", "--queue", str(tmp_path), "--gc"]) == 0
+        out = capsys.readouterr().out
+        assert "v1-deadbeef00000000 (2 file(s))" in out
+        assert "garbage-collected 1 stale spool version(s)" in out
+        assert not (tmp_path / "v1-deadbeef00000000").exists()
+        assert (current / "keep.job").exists()  # current version untouched
+
+    def test_worker_gc_shares_the_collector(self, tmp_path, capsys):
+        stale = tmp_path / "v0-cafe000000000000"
+        stale.mkdir()
+        (stale / "x.pkl").write_bytes(b"x")
+        assert main(["worker", "--queue", str(tmp_path), "--gc"]) == 0
+        out = capsys.readouterr().out
+        assert "garbage-collected 1 stale spool version(s)" in out
+        assert not stale.exists()
+
+    def test_queue_without_root_exits_2(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_QUEUE_DIR", raising=False)
+        assert main(["queue"]) == 2
+        assert "spool directory" in capsys.readouterr().err
+
+    def test_gc_never_touches_non_version_directories(self, tmp_path,
+                                                      capsys):
+        """Only exact version-tag names are ours to delete: an
+        operator's venv/ (or any v*-named dir) beside the spool must
+        survive a --gc."""
+        for name in ("venv", "vendor", "v1-short", "v1-NOTHEXFINGERPRN",
+                     "vault-2026"):
+            bystander = tmp_path / name
+            bystander.mkdir()
+            (bystander / "precious.txt").write_text("keep me")
+        stale = tmp_path / "v7-00000000deadbeef"
+        stale.mkdir()
+        (stale / "x.job").write_bytes(b"x")
+        assert main(["queue", "--queue", str(tmp_path), "--gc"]) == 0
+        out = capsys.readouterr().out
+        assert "garbage-collected 1 stale spool version(s)" in out
+        assert not stale.exists()
+        for name in ("venv", "vendor", "v1-short", "v1-NOTHEXFINGERPRN",
+                     "vault-2026"):
+            assert (tmp_path / name / "precious.txt").exists()
+
+    def test_queue_status_is_read_only(self, tmp_path, capsys):
+        """Inspecting a spool must not create the spool tree, and a
+        missing root is a clean error, not a freshly created one."""
+        missing = tmp_path / "typo"
+        assert main(["queue", "--queue", str(missing)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+        assert not missing.exists()
+        empty = tmp_path / "real"
+        empty.mkdir()
+        assert main(["queue", "--queue", str(empty)]) == 0
+        out = capsys.readouterr().out
+        assert "no spool written yet" in out
+        assert list(empty.iterdir()) == []  # nothing created
+
+
 class TestFigures:
     def test_circuit_figures(self, capsys):
         assert main(["figures", "--artifact", "circuit", "--step", "50"]) == 0

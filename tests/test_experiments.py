@@ -1,0 +1,492 @@
+"""Tests for the declarative experiment API (specs, driver, results)."""
+
+import json
+
+import pytest
+
+from repro.analysis.dvfs import DvfsPhase
+from repro.engine import ParallelRunner, ResultCache
+from repro.engine.jobs import TraceSpec
+from repro.errors import ConfigError
+from repro.experiments import (
+    ARTIFACTS,
+    AblationSpec,
+    DvfsScheduleSpec,
+    Experiment,
+    ExperimentSpec,
+    KNOWN_ARTIFACTS,
+    Record,
+    ResultSet,
+    run_spec,
+)
+from repro.experiments.specio import dumps_toml, loads_toml, \
+    parse_toml_subset
+
+pytestmark = pytest.mark.engine
+
+#: A tiny, fast campaign reused across driver tests.
+SMALL_SPEC = ExperimentSpec(
+    name="small",
+    profiles=("kernel-like",),
+    trace_length=400,
+    vcc_mv=(500.0,),
+    artifacts=("table1", "fig11b", "overheads"),
+)
+
+
+def small_dvfs_spec(**kwargs) -> ExperimentSpec:
+    defaults = dict(
+        name="dvfs-small",
+        profiles=("kernel-like",),
+        trace_length=400,
+        vcc_mv=(500.0,),
+        artifacts=("dvfs",),
+        dvfs=(DvfsScheduleSpec(
+            name="phone",
+            trace=TraceSpec.synthetic("office-like", seed=5, length=900),
+            phases=(DvfsPhase(650.0, 300), DvfsPhase(450.0, 600)),
+        ),),
+    )
+    defaults.update(kwargs)
+    return ExperimentSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigError, match="unknown profile"):
+            ExperimentSpec(profiles=("nope",))
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigError, match="unknown clock scheme"):
+            ExperimentSpec(schemes=("warp",))
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(ConfigError, match="unknown artifact"):
+            ExperimentSpec(artifacts=("table2",))
+
+    def test_explicit_grid_and_step_conflict(self):
+        with pytest.raises(ConfigError, match="not both"):
+            ExperimentSpec(vcc_mv=(500.0,), step_mv=50.0)
+
+    def test_dvfs_artifact_needs_schedules(self):
+        with pytest.raises(ConfigError, match="no schedules"):
+            ExperimentSpec(artifacts=("dvfs",))
+
+    def test_unknown_params_field_rejected(self):
+        with pytest.raises(ConfigError, match="PipelineParams field"):
+            ExperimentSpec(params={"warp_factor": 9})
+
+    def test_unknown_memory_field_rejected(self):
+        with pytest.raises(ConfigError, match="MemoryConfig field"):
+            ExperimentSpec(memory={"l9_kb": 1})
+
+    def test_duplicate_variant_names_rejected(self):
+        with pytest.raises(ConfigError, match="unique"):
+            ExperimentSpec(ablations=(AblationSpec(name="x"),
+                                      AblationSpec(name="x")))
+
+    def test_schedule_must_cover_trace(self):
+        with pytest.raises(ConfigError, match="covers"):
+            DvfsScheduleSpec(
+                name="short",
+                trace=TraceSpec.synthetic("office-like", length=1000),
+                phases=(DvfsPhase(500.0, 999),))
+
+    def test_ablation_scheme_validated(self):
+        with pytest.raises(ConfigError, match="unknown clock scheme"):
+            AblationSpec(name="bad", scheme="warp")
+
+    def test_unknown_spec_keys_rejected(self):
+        with pytest.raises(ConfigError, match="unknown experiment"):
+            ExperimentSpec.from_dict({"name": "x", "tables": {}})
+        with pytest.raises(ConfigError, match="unknown grid"):
+            ExperimentSpec.from_dict({"grid": {"vcc": [500]}})
+
+    def test_grid_defaults_to_paper_sweep(self):
+        spec = ExperimentSpec()
+        grid = spec.grid()
+        assert grid[0] == 700.0 and grid[-1] == 400.0
+        assert len(grid) == 13  # 25 mV steps
+
+    def test_params_overrides_apply(self):
+        spec = ExperimentSpec(params={"fetch_width": 1},
+                              memory={"dram_latency_cycles": 9})
+        assert spec.pipeline_params().fetch_width == 1
+        assert spec.memory_config().dram_latency_cycles == 9
+
+
+class TestSpecSerialization:
+    def test_dict_round_trip_full_featured(self):
+        spec = small_dvfs_spec(
+            ablations=(AblationSpec(name="no-rf",
+                                    overrides={"rf_enabled": False}),),
+            params=(("fetch_width", 1),),
+            metadata=(("note", "hello"),),
+        )
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_toml_round_trip(self):
+        spec = small_dvfs_spec()
+        assert ExperimentSpec.from_toml(spec.to_toml()) == spec
+
+    def test_json_round_trip(self):
+        spec = small_dvfs_spec()
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_kernel_trace_round_trip(self):
+        spec = small_dvfs_spec(dvfs=(DvfsScheduleSpec(
+            name="kern",
+            trace=TraceSpec.for_kernel("fib", size=12),
+            phases=(DvfsPhase(500.0, 100),)),), artifacts=())
+        assert ExperimentSpec.from_toml(spec.to_toml()) == spec
+
+    def test_file_round_trip_both_formats(self, tmp_path):
+        spec = small_dvfs_spec()
+        for suffix in (".toml", ".json"):
+            path = tmp_path / f"spec{suffix}"
+            spec.save(path)
+            assert ExperimentSpec.load(path) == spec
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("x")
+        with pytest.raises(ConfigError, match="unknown spec format"):
+            ExperimentSpec.load(path)
+        with pytest.raises(ConfigError, match="unknown spec format"):
+            SMALL_SPEC.save(path)
+
+    def test_missing_file_clean_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read spec file"):
+            ExperimentSpec.load(tmp_path / "absent.toml")
+
+    def test_malformed_json_clean_error(self):
+        with pytest.raises(ConfigError, match="invalid JSON"):
+            ExperimentSpec.from_json("{nope")
+        with pytest.raises(ConfigError, match="must be an object"):
+            ExperimentSpec.from_json("[1, 2]")
+
+    def test_json_integer_vcc_normalizes_to_float_keys(self):
+        """A hand-written spec with `vcc_mv = [500]` must key like 500.0."""
+        data = SMALL_SPEC.to_dict()
+        data["grid"]["vcc_mv"] = [500]
+        spec = ExperimentSpec.from_dict(data)
+        assert spec == SMALL_SPEC
+        assert Experiment(spec).plan_keys() \
+            == Experiment(SMALL_SPEC).plan_keys()
+
+
+class TestTomlSubsetParser:
+    """The 3.10 fallback parser, exercised on every interpreter."""
+
+    def test_matches_stdlib_on_spec_files(self):
+        tomllib = pytest.importorskip("tomllib")
+        for spec in (SMALL_SPEC,
+                     small_dvfs_spec(
+                         ablations=(AblationSpec(
+                             name="no-rf",
+                             overrides={"rf_enabled": False}),))):
+            text = spec.to_toml()
+            assert parse_toml_subset(text) == tomllib.loads(text)
+
+    def test_fallback_engages_without_tomllib(self, monkeypatch):
+        """The 3.10 path: no stdlib tomllib, full spec still loads."""
+        from repro.experiments import specio
+
+        monkeypatch.setattr(specio, "_tomllib", None)
+        spec = small_dvfs_spec()
+        assert ExperimentSpec.from_toml(spec.to_toml()) == spec
+
+    def test_stdlib_parse_error_becomes_config_error(self):
+        pytest.importorskip("tomllib")
+        with pytest.raises(ConfigError, match="invalid TOML"):
+            ExperimentSpec.from_toml("= broken")
+
+    def test_scalars_arrays_and_comments(self):
+        data = parse_toml_subset(
+            '# header comment\n'
+            'name = "x # not a comment"  # trailing\n'
+            'count = 3\n'
+            'big = 1_000\n'
+            'ratio = 0.5\n'
+            'exp = 1e3\n'
+            'neg = -2.5\n'
+            'on = true\n'
+            'off = false\n'
+            'grid = [700.0, 650.0,\n'
+            '        600.0]\n'
+            'empty = []\n')
+        assert data["name"] == "x # not a comment"
+        assert data["count"] == 3 and data["big"] == 1000
+        assert data["ratio"] == 0.5 and data["exp"] == 1000.0
+        assert data["neg"] == -2.5
+        assert data["on"] is True and data["off"] is False
+        assert data["grid"] == [700.0, 650.0, 600.0]
+        assert data["empty"] == []
+
+    def test_nested_tables_and_table_arrays(self):
+        data = parse_toml_subset(
+            '[a]\nx = 1\n'
+            '[a.b]\ny = 2\n'
+            '[[items]]\nname = "first"\n'
+            '[items.sub]\nz = 3\n'
+            '[[items.points]]\nv = 1\n'
+            '[[items.points]]\nv = 2\n'
+            '[[items]]\nname = "second"\n')
+        assert data["a"] == {"x": 1, "b": {"y": 2}}
+        assert data["items"][0]["name"] == "first"
+        assert data["items"][0]["sub"] == {"z": 3}
+        assert [p["v"] for p in data["items"][0]["points"]] == [1, 2]
+        assert data["items"][1] == {"name": "second"}
+
+    @pytest.mark.parametrize("text", [
+        "key",                       # no '='
+        "a.b = 1",                   # dotted keys unsupported
+        "x = ",                      # missing value
+        'x = "unterminated',
+        "x = [1, 2",
+        "x = 2026-07-31",            # dates outside the subset
+        "[table",                    # malformed header
+        "x = 1\nx = 2",              # duplicate key
+    ])
+    def test_rejects_out_of_subset(self, text):
+        with pytest.raises(ConfigError):
+            parse_toml_subset(text)
+
+    def test_emitter_round_trips_plain_data(self):
+        data = {"name": 'quote " and \\ slash', "n": 3, "f": 0.25,
+                "flag": True, "list": [1.5, 2.5], "strings": ["a", "b"],
+                "table": {"x": 1, "nested": {"y": 2.0}},
+                "rows": [{"a": 1}, {"a": 2, "sub": {"b": 3}}]}
+        assert loads_toml(dumps_toml(data)) == data
+        assert parse_toml_subset(dumps_toml(data)) == data
+
+    def test_emitter_rejects_unrepresentable(self):
+        with pytest.raises(ConfigError, match="cannot emit"):
+            dumps_toml({"x": object()})
+        with pytest.raises(ConfigError, match="cannot emit TOML key"):
+            dumps_toml({"bad key": 1})
+
+
+class TestResultSet:
+    @staticmethod
+    def records():
+        return ResultSet([
+            Record(kind="sweep-point", scheme="baseline", vcc_mv=500.0,
+                   metrics={"ipc": 0.7, "cycles": 100}),
+            Record(kind="sweep-point", scheme="iraw", vcc_mv=500.0,
+                   metrics={"ipc": 0.6, "cycles": 120}),
+            Record(kind="sweep-point", scheme="iraw", vcc_mv=450.0,
+                   variant="no-rf", metrics={"ipc": 0.65}),
+            Record(kind="dvfs-schedule", scheme="iraw", vcc_mv=0.0,
+                   variant="phone", trace="office-like/seed5",
+                   metrics={"total_time_s": 1e-3}),
+        ])
+
+    def test_record_access(self):
+        record = self.records()[0]
+        assert record["scheme"] == "baseline"
+        assert record["ipc"] == 0.7
+        assert record.get("absent", 42) == 42
+        with pytest.raises(KeyError):
+            record["absent"]
+        assert record.as_dict()["kind"] == "sweep-point"
+
+    def test_filter_and_where(self):
+        results = self.records()
+        assert len(results.filter(scheme="iraw")) == 3
+        assert len(results.filter(scheme="iraw", variant="")) == 1
+        assert len(results.where(lambda r: r.get("ipc", 0) > 0.64)) == 2
+
+    def test_group_by(self):
+        groups = self.records().group_by("scheme")
+        assert set(groups) == {"baseline", "iraw"}
+        assert len(groups["iraw"]) == 3
+        pairs = self.records().group_by("kind", "scheme")
+        assert ("dvfs-schedule", "iraw") in pairs
+
+    def test_pivot(self):
+        table = self.records().filter(kind="sweep-point", variant="") \
+            .pivot("vcc_mv", "scheme", "ipc")
+        assert table == [{"vcc_mv": 500.0, "baseline": 0.7, "iraw": 0.6}]
+
+    def test_pivot_rejects_ambiguity(self):
+        with pytest.raises(ConfigError, match="ambiguous"):
+            self.records().pivot("kind", "scheme", "ipc")
+
+    def test_columns_union_in_order(self):
+        columns = self.records().columns
+        assert columns[:5] == ["kind", "scheme", "vcc_mv", "variant",
+                               "trace"]
+        assert "cycles" in columns and "total_time_s" in columns
+
+    def test_csv_export(self, tmp_path):
+        path = tmp_path / "out.csv"
+        text = self.records().to_csv(path)
+        assert path.read_text() == text
+        lines = text.splitlines()
+        assert lines[0].startswith("kind,scheme,vcc_mv")
+        assert len(lines) == 5
+        assert "baseline" in lines[1] and "" in lines[1]
+
+    def test_json_export_round_trips(self, tmp_path):
+        path = tmp_path / "out.json"
+        text = self.records().to_json(path)
+        rows = json.loads(path.read_text())
+        assert rows == json.loads(text)
+        assert rows[0]["ipc"] == 0.7
+
+    def test_slicing_and_equality(self):
+        results = self.records()
+        assert isinstance(results[1:], ResultSet)
+        assert results[1:] == ResultSet(results.records[1:])
+        assert ResultSet([]) == ResultSet(())
+        assert results != object()
+        assert "4 records" in repr(results)
+
+    def test_contains(self):
+        record = self.records()[0]
+        assert "ipc" in record and "scheme" in record
+        assert "absent" not in record
+
+    def test_rejects_non_records(self):
+        with pytest.raises(ConfigError, match="must be Records"):
+            ResultSet([{"kind": "dict"}])
+
+    def test_group_by_needs_columns(self):
+        with pytest.raises(ConfigError, match="at least one column"):
+            self.records().group_by()
+
+
+class TestArtifactRegistry:
+    def test_registry_serves_every_known_artifact(self):
+        assert tuple(sorted(ARTIFACTS)) == tuple(sorted(KNOWN_ARTIFACTS))
+        for artifact in ARTIFACTS.values():
+            assert artifact.title and artifact.description
+            assert callable(artifact.jobs) and callable(artifact.build)
+
+    def test_unknown_artifact_lookup(self):
+        from repro.experiments import artifact
+
+        with pytest.raises(ConfigError, match="unknown artifact"):
+            artifact("table2")
+
+
+class TestExperimentDriver:
+    def test_run_returns_resultset(self):
+        experiment = Experiment(SMALL_SPEC)
+        results = experiment.run()
+        assert experiment.results is results
+        # grid: 1 vcc x 2 schemes, plus faulty-bits/extra-bypass rows.
+        assert len(results.filter(kind="sweep-point")) == 2
+        assert len(results.filter(kind="faulty-bits")) == 1
+        assert len(results.filter(kind="extra-bypass")) == 1
+        iraw = results.filter(scheme="iraw", kind="sweep-point")[0]
+        assert iraw["ipc"] > 0 and iraw["traces"] == 1
+
+    def test_one_batch_no_rerender_simulation(self):
+        experiment = Experiment(SMALL_SPEC)
+        experiment.run()
+        simulated = experiment.stats.simulated
+        rendered = experiment.artifacts()
+        assert experiment.stats.simulated == simulated  # pure memo-lookup
+        assert set(rendered) == set(SMALL_SPEC.artifacts)
+        assert len(rendered["table1"]) == 4
+        assert rendered["fig11b"][0]["vcc_mv"] == 500.0
+
+    def test_run_rebinds_runner(self, tmp_path):
+        runner = ParallelRunner(cache=ResultCache(root=tmp_path))
+        experiment = Experiment(SMALL_SPEC)
+        results = experiment.run(runner)
+        assert experiment.runner is runner
+        assert runner.stats.simulated > 0
+        assert len(results) == 4
+
+    def test_run_spec_convenience(self):
+        experiment = run_spec(SMALL_SPEC)
+        assert experiment.results is not None
+
+    def test_ablation_points_recorded(self):
+        spec = ExperimentSpec(
+            name="ablate", profiles=("kernel-like",), trace_length=400,
+            vcc_mv=(500.0,), artifacts=(),
+            ablations=(AblationSpec(name="no-rf",
+                                    overrides={"rf_enabled": False}),))
+        results = Experiment(spec).run()
+        ablated = results.filter(variant="no-rf")
+        assert len(ablated) == 1
+        plain = results.filter(scheme="iraw", variant="")[0]
+        # Disabling RF stalls can only help IPC at this point.
+        assert ablated[0]["ipc"] >= plain["ipc"]
+
+    def test_dvfs_records_and_artifact(self):
+        experiment = Experiment(small_dvfs_spec())
+        results = experiment.run()
+        dvfs = results.filter(kind="dvfs-schedule")
+        assert len(dvfs) == 2  # baseline + iraw
+        assert {r.scheme for r in dvfs} == {"baseline", "iraw"}
+        assert all(r.variant == "phone" for r in dvfs)
+        rows = experiment.artifact("dvfs")
+        by_scheme = {row["scheme"]: row for row in rows}
+        assert by_scheme["baseline"]["speedup_vs_baseline"] \
+            == pytest.approx(1.0)
+        assert by_scheme["iraw"]["speedup_vs_baseline"] > 1.0
+        assert by_scheme["iraw"]["transitions"] == 2
+
+    def test_dvfs_only_spec_needs_no_population(self):
+        spec = small_dvfs_spec(profiles=(), artifacts=("dvfs",))
+        experiment = Experiment(spec)
+        results = experiment.run()
+        assert len(results.filter(kind="dvfs-schedule")) == 2
+        with pytest.raises(ConfigError, match="no trace population"):
+            experiment.sweep
+
+    def test_shared_points_deduplicated(self):
+        """table1 + fig11b at one Vcc share the baseline/iraw points."""
+        experiment = Experiment(SMALL_SPEC)
+        experiment.run()
+        stats = experiment.stats
+        # 4 distinct population evaluations x 1 trace = 4 simulations;
+        # duplicates across grid/table1/fig11b plans never re-simulate.
+        assert stats.simulated == 4
+        assert stats.deduplicated + stats.memory_hits > 0
+
+    def test_unknown_artifact_render_rejected(self):
+        with pytest.raises(ConfigError, match="unknown artifact"):
+            Experiment(SMALL_SPEC).artifact("table2")
+
+    def test_off_grid_table1_points_are_recorded(self):
+        """table1_vcc_mv outside the grid: its baseline/IRAW points are
+        simulated for the table and must appear in the ResultSet."""
+        spec = ExperimentSpec(
+            name="offgrid", profiles=("kernel-like",), trace_length=400,
+            vcc_mv=(450.0,), table1_vcc_mv=500.0, artifacts=("table1",))
+        results = Experiment(spec).run()
+        at_500 = results.filter(kind="sweep-point", vcc_mv=500.0)
+        assert {r.scheme for r in at_500} == {"baseline", "iraw"}
+        assert len(results.filter(kind="sweep-point", vcc_mv=450.0)) == 2
+        # On-grid table1 (SMALL_SPEC) keeps deduplicating instead.
+        on_grid = Experiment(SMALL_SPEC).run()
+        assert len(on_grid.filter(kind="sweep-point", vcc_mv=500.0)) == 2
+
+    def test_artifact_without_run_resolves_lazily(self):
+        """Rendering before run() simulates exactly what it needs."""
+        experiment = Experiment(SMALL_SPEC)
+        rows = experiment.artifact("table1")
+        assert len(rows) == 4
+        assert experiment.stats.simulated > 0
+
+    def test_legacy_wrappers_share_implementation(self):
+        """build_table1/figure11b_series delegate to the registry code."""
+        from repro.analysis.figures import figure11b_series
+        from repro.analysis.table1 import build_table1
+        from repro.analysis.sweep import SweepSettings, VccSweep
+
+        experiment = Experiment(SMALL_SPEC)
+        experiment.run()
+        sweep = VccSweep(SMALL_SPEC.sweep_settings(),
+                         runner=experiment.runner)
+        assert build_table1(sweep, 500.0) == experiment.artifact("table1")
+        rows = figure11b_series(sweep, step_mv=200.0)  # 700, 500 mV
+        assert rows[1] == experiment.artifact("fig11b")[0]
+        assert SweepSettings(trace_length=400).params \
+            == SMALL_SPEC.sweep_settings().params

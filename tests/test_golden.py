@@ -26,6 +26,7 @@ import pytest
 from repro.analysis.sweep import SweepSettings, VccSweep
 from repro.analysis.table1 import build_table1
 from repro.engine import ParallelRunner, QueueBackend, ResultCache
+from repro.experiments import Experiment, ExperimentSpec
 from repro.workloads.profiles import KERNEL_LIKE, SPECINT_LIKE
 
 pytestmark = pytest.mark.engine
@@ -38,6 +39,17 @@ GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
 GOLDEN_SETTINGS = SweepSettings(profiles=(KERNEL_LIKE, SPECINT_LIKE),
                                 trace_length=600)
 GOLDEN_VCC = 500.0
+
+#: The same campaign as a declarative spec: the experiment driver must
+#: reproduce the goldens bit-identically through this description.
+GOLDEN_SPEC = ExperimentSpec(
+    name="golden",
+    profiles=(KERNEL_LIKE.name, SPECINT_LIKE.name),
+    trace_length=600,
+    vcc_mv=(GOLDEN_VCC,),
+    table1_vcc_mv=GOLDEN_VCC,
+    artifacts=("table1", "fig11b"),
+)
 
 
 def compute_artifacts(runner: ParallelRunner | None = None) -> dict:
@@ -150,6 +162,64 @@ class TestGoldenQueue:
         assert list((tmp_path / "spool").rglob("*.job")) == []
         assert_matches_golden(artifacts["table1"], load_golden("table1"),
                               "table1")
+
+
+class TestGoldenExperiment:
+    """The declarative driver must reproduce the goldens bit-identically.
+
+    ``ExperimentSpec``/``Experiment.run`` is a *description* of the same
+    campaign the legacy harness runs by hand; these tests pin the
+    equivalence three ways — same rows (serial and pool), same on-disk
+    cache keys (a spec run after a legacy run simulates nothing), and
+    spec round-trips through TOML/JSON that preserve the job plan.
+    """
+
+    @staticmethod
+    def experiment_artifacts(experiment: Experiment) -> dict:
+        experiment.run()
+        rendered = experiment.artifacts()
+        return {"table1": rendered["table1"],
+                "fig11b_500mv": rendered["fig11b"][0]}
+
+    def test_serial_run_reproduces_goldens(self):
+        artifacts = self.experiment_artifacts(Experiment(GOLDEN_SPEC))
+        assert_matches_golden(artifacts["table1"], load_golden("table1"),
+                              "table1")
+        assert_matches_golden(artifacts["fig11b_500mv"],
+                              load_golden("fig11b_500mv"), "fig11b_500mv")
+
+    def test_pool_run_reproduces_goldens(self, tmp_path):
+        runner = ParallelRunner(workers=2,
+                                cache=ResultCache(root=tmp_path))
+        experiment = Experiment(GOLDEN_SPEC, runner=runner)
+        artifacts = self.experiment_artifacts(experiment)
+        assert runner.stats.sharded > 0  # population jobs really split
+        assert_matches_golden(artifacts["table1"], load_golden("table1"),
+                              "table1")
+        assert_matches_golden(artifacts["fig11b_500mv"],
+                              load_golden("fig11b_500mv"), "fig11b_500mv")
+
+    def test_spec_run_hits_legacy_cache_keys(self, tmp_path):
+        """Spec-planned jobs carry the exact canonical keys the legacy
+        harness produces: after a legacy warm-up, the experiment run is
+        answered entirely from disk."""
+        legacy = ParallelRunner(workers=1, cache=ResultCache(root=tmp_path))
+        compute_artifacts(legacy)
+        runner = ParallelRunner(workers=1, cache=ResultCache(root=tmp_path))
+        experiment = Experiment(GOLDEN_SPEC, runner=runner)
+        artifacts = self.experiment_artifacts(experiment)
+        assert runner.stats.simulated == 0
+        assert_matches_golden(artifacts["table1"], load_golden("table1"),
+                              "table1")
+
+    def test_spec_round_trips_preserve_job_keys(self):
+        via_toml = ExperimentSpec.from_toml(GOLDEN_SPEC.to_toml())
+        via_json = ExperimentSpec.from_json(GOLDEN_SPEC.to_json())
+        assert via_toml == GOLDEN_SPEC
+        assert via_json == GOLDEN_SPEC
+        reference = Experiment(GOLDEN_SPEC).plan_keys()
+        assert Experiment(via_toml).plan_keys() == reference
+        assert Experiment(via_json).plan_keys() == reference
 
 
 def _regenerate() -> None:  # pragma: no cover - maintenance entry point

@@ -93,6 +93,83 @@ class TestReporting:
         assert percent(0.4812, digits=2) == "48.12%"
 
 
+class TestFormatValueEdgeCases:
+    def test_nan_and_inf_render_legibly(self):
+        assert format_value(float("nan")) == "nan"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(float("-inf")) == "-inf"
+
+    def test_negative_magnitude_bands(self):
+        assert format_value(-1234.5) == "-1234"
+        assert format_value(-12.345) == "-12.35"
+        assert format_value(-0.5) == "-0.5000"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0.0000"
+
+    def test_bool_beats_float_branch(self):
+        # bool is an int subclass; it must never hit a numeric format.
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+
+class TestFormatTableEdgeCases:
+    def test_empty_with_known_columns_emits_header(self):
+        text = format_table([], columns=["a", "bb"], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert lines[1] == "a | bb"
+        assert lines[-1] == "(no rows)"
+
+    def test_empty_without_columns_or_title(self):
+        assert format_table([]) == "table: (no rows)"
+
+    def test_missing_cells_render_empty(self):
+        text = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        last = text.splitlines()[-1]
+        assert last.split("|")[1].strip() == ""
+
+    def test_nonfinite_cells_do_not_crash_alignment(self):
+        text = format_table([{"x": float("nan"), "y": float("inf")}])
+        assert "nan" in text and "inf" in text
+
+
+class TestSpeedupEdgeCases:
+    def test_zero_cycle_candidate_raises(self):
+        base = make_point(500.0, ClockScheme.BASELINE, [1000])
+        broken = make_point(500.0, ClockScheme.IRAW, [0])
+        with pytest.raises(ValueError, match="zero-cycle"):
+            speedup(base, broken)
+        with pytest.raises(ValueError, match="zero-cycle"):
+            speedup(base, broken, per_trace_geomean=False)
+
+    def test_zero_cycle_baseline_raises(self):
+        broken = make_point(500.0, ClockScheme.BASELINE, [0])
+        candidate = make_point(500.0, ClockScheme.IRAW, [1000])
+        with pytest.raises(ValueError, match="zero-cycle"):
+            speedup(broken, candidate)
+        with pytest.raises(ValueError, match="undefined"):
+            speedup(broken, candidate, per_trace_geomean=False)
+
+    def test_mismatched_populations_raise(self):
+        base = make_point(500.0, ClockScheme.BASELINE, [1000, 1000])
+        candidate = make_point(500.0, ClockScheme.IRAW, [1000])
+        with pytest.raises(ValueError, match="matching populations"):
+            speedup(base, candidate)
+
+    def test_empty_population_is_neutral(self):
+        """Zero traces: no ratios, geometric mean defaults to 1.0."""
+        base = make_point(500.0, ClockScheme.BASELINE, [])
+        candidate = make_point(500.0, ClockScheme.IRAW, [])
+        assert speedup(base, candidate) == 1.0
+
+    def test_zero_ipc_point_reports_zero(self):
+        point = make_point(500.0, ClockScheme.BASELINE, [])
+        assert point.ipc == 0.0
+        assert point.mean_iraw_delay_fraction == 0.0
+        assert point.stall_fraction(["rf"]) == 0.0
+
+
 class TestResultSerialization:
     def test_to_dict_round_trips_through_json(self):
         import json
