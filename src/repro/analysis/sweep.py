@@ -189,16 +189,14 @@ class VccSweep:
     # In-text stall decomposition (Section 5.2: 8.86% = 8.52 + 0.30 + 0.04)
     # ------------------------------------------------------------------
 
-    def stall_decomposition(self, vcc_mv: float = 575.0) -> dict[str, float]:
-        """Marginal performance cost of each avoidance mechanism.
+    def stall_jobs(self, vcc_mv: float = 575.0) -> list[Job]:
+        """The five ablation jobs behind :meth:`stall_decomposition`.
 
-        Runs the IRAW point with all mechanisms, then with each mechanism's
-        *stalls* disabled in turn (a timing-only what-if; correctness
-        violations are counted but ignored), mirroring how the paper
-        attributes its 8.86% drop at 575 mV.  The five ablation points are
-        submitted as one engine batch, so they parallelize.
+        Exposed separately so the ``stalls`` artifact planner can batch
+        them with the rest of a campaign; order is part of the contract
+        (full, no-stalls, no-RF, no-STable, no-IQ/guards).
         """
-        jobs = [
+        return [
             self.job_for(vcc_mv, ClockScheme.IRAW),
             self.job_for(vcc_mv, ClockScheme.IRAW,
                          rf_enabled=False, iq_enabled=False,
@@ -208,8 +206,19 @@ class VccSweep:
             self.job_for(vcc_mv, ClockScheme.IRAW,
                          iq_enabled=False, cache_guards_enabled=False),
         ]
+
+    def stall_decomposition(self, vcc_mv: float = 575.0) -> dict[str, float]:
+        """Marginal performance cost of each avoidance mechanism.
+
+        Runs the IRAW point with all mechanisms, then with each mechanism's
+        *stalls* disabled in turn (a timing-only what-if; correctness
+        violations are counted but ignored), mirroring how the paper
+        attributes its 8.86% drop at 575 mV.  The five ablation points are
+        submitted as one engine batch, so they parallelize.
+        """
         full, no_stalls, no_rf, no_dl0, no_rest = self.runner.run(
-            jobs, label=f"stall-decomposition@{vcc_mv:g}mV")
+            self.stall_jobs(vcc_mv),
+            label=f"stall-decomposition@{vcc_mv:g}mV")
 
         def drop(reference: PointResult, withheld: PointResult) -> float:
             return 1.0 - withheld.ipc / reference.ipc

@@ -135,6 +135,16 @@ class FrequencySolver:
     # Public API
     # ------------------------------------------------------------------
 
+    def stabilization_cycles_at(self, vcc_mv: float, phase: float) -> int:
+        """Cycles a written cell needs before reads at an arbitrary phase.
+
+        The same rule :meth:`operating_point` applies to the IRAW phase,
+        exposed for consumers that clock one delay model at another
+        model's schedule (e.g. Monte-Carlo die binning, which asks what
+        a sampled die's worst cell needs at the *design* clock).
+        """
+        return self._stabilization_cycles(vcc_mv, phase)
+
     def operating_point(self, vcc_mv: float, scheme: ClockScheme) -> OperatingPoint:
         """Resolve the operating point for one (Vcc, scheme) pair."""
         check_voltage(vcc_mv)

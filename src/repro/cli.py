@@ -5,6 +5,7 @@ Subcommands
 ``run``       execute a declarative experiment spec file (TOML/JSON)
 ``figures``   regenerate the paper's figures as ASCII tables
 ``compare``   baseline-vs-IRAW comparison at chosen Vcc levels
+``mc``        Monte-Carlo die sampling: yield and Vccmin distributions
 ``simulate``  run one kernel or synthetic trace on the pipeline
 ``trace``     generate a synthetic trace and save it to a file
 ``kernels``   list the built-in kernels
@@ -18,8 +19,12 @@ file names a trace population, a Vcc grid, clock schemes, ablations,
 DVFS schedules and a list of named artifacts (``table1``, ``fig11b``,
 ``fig12``, ``energy450``, ``overheads``, ``dvfs``), and one driver
 (:class:`repro.experiments.Experiment`) compiles it into a single
-engine batch.  ``figures`` and ``compare`` are conveniences that build
-the equivalent spec in memory and run it through the same driver.
+engine batch.  ``figures``, ``compare`` and ``mc`` are conveniences
+that build the equivalent spec in memory and run it through the same
+driver; ``mc --samples N`` sweeps N sampled dies across the Vcc grid
+(``yield_curve`` + ``vccmin_dist`` artifacts), and ``run`` accepts the
+same ``--samples``/``--confidence`` overrides for spec files with a
+``[montecarlo]`` section.
 
 The simulation-backed subcommands run their evaluation points through
 the experiment engine: every point is sharded per trace, ``--workers N``
@@ -111,6 +116,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the flat ResultSet as JSON")
     run.add_argument("--dry-run", action="store_true",
                      help="print the campaign plan without simulating")
+    run.add_argument("--samples", type=int, default=None, metavar="N",
+                     help="override the spec's montecarlo die count")
+    run.add_argument("--confidence", type=float, default=None,
+                     metavar="C",
+                     help="override the spec's montecarlo confidence "
+                          "level for yield intervals")
     add_engine_arguments(run)
 
     figures = sub.add_parser("figures", help="regenerate paper figures")
@@ -128,6 +139,38 @@ def _build_parser() -> argparse.ArgumentParser:
                          default=[575.0, 500.0, 450.0, 400.0])
     compare.add_argument("--length", type=int, default=6000)
     add_engine_arguments(compare)
+
+    mc = sub.add_parser(
+        "mc", help="Monte-Carlo die sampling: yield and Vccmin",
+        description="Sample dies (seeded Gaussian Vth maps over the "
+                    "paper's SRAM arrays) and evaluate each against "
+                    "the design clock across a Vcc grid.  Renders the "
+                    "yield_curve and vccmin_dist artifacts; every "
+                    "(die, Vcc, scheme) point is an ordinary engine "
+                    "job, so workers, backends and the result cache "
+                    "apply as usual.")
+    mc.add_argument("--samples", type=int, default=64, metavar="N",
+                    help="number of sampled dies (default 64)")
+    mc.add_argument("--confidence", type=float, default=0.95, metavar="C",
+                    help="confidence level for Wilson yield intervals "
+                         "(default 0.95)")
+    mc.add_argument("--seed", type=int, default=0,
+                    help="campaign seed (each die derives its own "
+                         "independent RNG stream from it)")
+    mc.add_argument("--vcc", type=float, nargs="+", default=None,
+                    help="explicit Vcc grid in mV (default: the paper "
+                         "sweep at --step)")
+    mc.add_argument("--step", type=float, default=25.0,
+                    help="grid step for the default 700->400 mV sweep")
+    mc.add_argument("--schemes", nargs="+",
+                    default=["baseline", "iraw"],
+                    choices=[s.value for s in ClockScheme],
+                    help="clock schemes to bin dies under")
+    mc.add_argument("--export-csv", metavar="PATH", default=None,
+                    help="write the flat ResultSet as CSV")
+    mc.add_argument("--export-json", metavar="PATH", default=None,
+                    help="write the flat ResultSet as JSON")
+    add_engine_arguments(mc)
 
     simulate = sub.add_parser("simulate", help="run one workload")
     source = simulate.add_mutually_exclusive_group(required=True)
@@ -162,6 +205,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="delete entries from stale code versions and "
                             "evict least-recently-used entries beyond "
                             "$REPRO_CACHE_MAX_BYTES")
+    cache.add_argument("--dry-run", action="store_true",
+                       help="with --prune: report what would be deleted "
+                            "without touching the store")
 
     queue = sub.add_parser(
         "queue", help="inspect a queue spool / GC stale versions",
@@ -204,6 +250,23 @@ def _print_stats(runner: ParallelRunner) -> None:
           f"{stats.memory_hits} memo hits, {stats.disk_hits} cache hits")
 
 
+def _montecarlo_overrides(spec: ExperimentSpec, samples, confidence):
+    """Apply ``--samples``/``--confidence`` to a loaded spec."""
+    if samples is None and confidence is None:
+        return spec
+    if spec.montecarlo is None:
+        raise ConfigError(
+            "--samples/--confidence override a [montecarlo] section, "
+            f"but spec {spec.name!r} has none")
+    overrides: dict = {}
+    if samples is not None:
+        overrides["dies"] = samples
+    if confidence is not None:
+        overrides["confidence"] = confidence
+    return dataclasses.replace(
+        spec, montecarlo=dataclasses.replace(spec.montecarlo, **overrides))
+
+
 def _cmd_run(args) -> int:
     spec = ExperimentSpec.load(args.spec)
     if args.artifact:
@@ -212,6 +275,7 @@ def _cmd_run(args) -> int:
             if name not in seen:
                 seen.append(name)
         spec = dataclasses.replace(spec, artifacts=tuple(seen))
+    spec = _montecarlo_overrides(spec, args.samples, args.confidence)
     experiment = Experiment(spec, runner=_build_runner(args))
     if args.dry_run:
         jobs = experiment.plan()
@@ -224,9 +288,20 @@ def _cmd_run(args) -> int:
               f"{len(spec.schemes)} schemes "
               f"(+{len(spec.ablations)} ablations, "
               f"{len(spec.dvfs)} dvfs schedules)")
+        if spec.montecarlo is not None:
+            print(f"montecarlo:  {spec.montecarlo.dies} dies "
+                  f"(seed {spec.montecarlo.seed}, "
+                  f"{spec.montecarlo.confidence:g} confidence)")
         print(f"jobs:        {len(jobs)} before dedup/sharding")
         print(f"artifacts:   {', '.join(spec.artifacts) or '(none)'}")
         return 0
+    _render_experiment(experiment, args)
+    return 0
+
+
+def _render_experiment(experiment, args) -> None:
+    """Shared tail of ``repro run`` and ``repro mc``: run the campaign,
+    print every listed artifact, honor the export flags, report stats."""
     results = experiment.run()
     for name, rows in experiment.artifacts().items():
         print(format_table(rows, title=ARTIFACTS[name].title))
@@ -238,7 +313,6 @@ def _cmd_run(args) -> int:
         results.to_json(args.export_json)
         print(f"wrote {len(results)} records to {args.export_json}")
     _print_stats(experiment.runner)
-    return 0
 
 
 def _cmd_figures(args) -> int:
@@ -285,6 +359,42 @@ def _cmd_compare(args) -> int:
     experiment.run()
     print(format_table(experiment.artifact("fig11b"),
                        title="IRAW vs baseline"))
+    return 0
+
+
+def _cmd_mc(args) -> int:
+    # A die-sampling campaign is a population-less spec with the
+    # montecarlo artifacts — built in memory, run through the one driver.
+    from repro.montecarlo import MonteCarloSpec
+
+    from repro.circuits.ekv import VCC_MAX_MV, VCC_MIN_MV
+
+    if args.samples < 1:
+        raise ConfigError(f"--samples must be >= 1 (got {args.samples})")
+    if not 0 < args.confidence < 1:
+        raise ConfigError(f"--confidence must be in (0, 1), got "
+                          f"{args.confidence:g}")
+    if args.vcc:
+        for vcc in args.vcc:
+            if not VCC_MIN_MV <= vcc <= VCC_MAX_MV:
+                raise ConfigError(
+                    f"--vcc {vcc:g} is outside the modeled "
+                    f"[{VCC_MIN_MV:g}, {VCC_MAX_MV:g}] mV range")
+    elif args.step <= 0:
+        raise ConfigError(f"--step must be positive millivolts "
+                          f"(got {args.step:g})")
+    spec = ExperimentSpec(
+        name="cli-mc",
+        profiles=(),
+        vcc_mv=tuple(args.vcc) if args.vcc else (),  # spec dedups
+        step_mv=None if args.vcc else args.step,
+        schemes=tuple(dict.fromkeys(args.schemes)),
+        montecarlo=MonteCarloSpec(dies=args.samples, seed=args.seed,
+                                  confidence=args.confidence),
+        artifacts=("yield_curve", "vccmin_dist"),
+    )
+    experiment = Experiment(spec, runner=_build_runner(args))
+    _render_experiment(experiment, args)
     return 0
 
 
@@ -463,7 +573,26 @@ def _cmd_cache(args) -> int:
     if cache.root.exists() and not cache.root.is_dir():
         raise ConfigError(f"cache root {cache.root} exists but is not a "
                           f"directory (check $REPRO_CACHE_DIR)")
-    if args.prune:
+    if args.dry_run and (args.clear or not args.prune):
+        raise ConfigError("--dry-run only makes sense with --prune "
+                          "(and without --clear)")
+    if args.prune and args.dry_run:
+        # Strictly read-only: report the same decisions --prune would
+        # take (stale versions first, then the LRU walk) without
+        # deleting anything or rewriting the index.
+        stale = cache.stale_versions()
+        for name, entries in stale:
+            print(f"would prune stale version {name} "
+                  f"({entries} entr{'y' if entries == 1 else 'ies'})")
+        print(f"would prune {sum(n for _, n in stale)} entries from "
+              f"{len(stale)} stale code version(s)")
+        planned = cache.plan_evictions()
+        for key, size in planned:
+            print(f"would evict {key} ({size} bytes)")
+        if cache.max_bytes is not None:
+            print(f"would evict {len(planned)} entries over the "
+                  f"{cache.max_bytes}-byte bound")
+    elif args.prune:
         removed = cache.prune_stale()
         print(f"pruned {removed} entries from stale code versions")
         evicted = cache.enforce_limit()
@@ -491,6 +620,8 @@ def _dispatch(args) -> int:
         return _cmd_figures(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "mc":
+        return _cmd_mc(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "trace":

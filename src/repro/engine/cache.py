@@ -252,13 +252,18 @@ class ResultCache:
     def _index_path(self) -> pathlib.Path:
         return self.version_dir / INDEX_NAME
 
-    def _index_data(self) -> dict:
-        """The in-memory working index (loaded from disk on first use)."""
+    def _index_data(self, persist_rebuild: bool = True) -> dict:
+        """The in-memory working index (loaded from disk on first use).
+
+        ``persist_rebuild=False`` keeps a corrupted-index rebuild in
+        memory only — the read-only inspection paths (dry-run planning)
+        must never write, even to replace garbage.
+        """
         if self._index is None:
-            self._index = self._load_index()
+            self._index = self._load_index(persist_rebuild)
         return self._index
 
-    def _load_index(self) -> dict:
+    def _load_index(self, persist_rebuild: bool = True) -> dict:
         try:
             data = json.loads(self._index_path().read_text("utf-8"))
             clock = int(data["clock"])
@@ -271,7 +276,7 @@ class ResultCache:
             return self._rebuild_index(persist=False)
         except Exception:
             # Corrupted/garbled index: never trust it, rebuild from disk.
-            return self._rebuild_index(persist=True)
+            return self._rebuild_index(persist=persist_rebuild)
         return {"clock": clock, "entries": entries}
 
     def _rebuild_index(self, persist: bool = True) -> dict:
@@ -357,12 +362,15 @@ class ResultCache:
             self._save_index(self._index)
             self._dirty = False
 
-    def _evict_over_limit(self, index: dict) -> list[tuple[str, int]]:
+    def _evict_over_limit(self, index: dict,
+                          delete: bool = True) -> list[tuple[str, int]]:
         """Evict least-recently-used entries until the bound is met.
 
         Mutates ``index`` in place (caller persists it) and returns the
         evicted ``(key, size)`` pairs, oldest first.  The newest entry is
-        evicted last — only when it alone exceeds the bound.
+        evicted last — only when it alone exceeds the bound.  With
+        ``delete=False`` the walk is identical but no file is unlinked
+        (dry-run planning over an index copy).
         """
         evicted: list[tuple[str, int]] = []
         if self.max_bytes is None:
@@ -373,10 +381,11 @@ class ResultCache:
             key = min(entries, key=lambda k: int(entries[k]["used"]))
             size = int(entries.pop(key)["size"])
             total -= size
-            try:
-                self._path(key).unlink()
-            except OSError:
-                pass  # already gone: the byte accounting still shrinks
+            if delete:
+                try:
+                    self._path(key).unlink()
+                except OSError:
+                    pass  # already gone: the byte accounting still shrinks
             evicted.append((key, size))
         return evicted
 
@@ -414,6 +423,43 @@ class ResultCache:
             self._save_index(index)
             self._dirty = False
         return evicted
+
+    def plan_evictions(self) -> list[tuple[str, int]]:
+        """What :meth:`enforce_limit` *would* evict, without deleting.
+
+        Runs the identical LRU walk over a copy of the index: nothing
+        is unlinked, no bookkeeping is persisted (a corrupted index is
+        rebuilt in memory only), and the deferred-hit state of the live
+        index is untouched — ``cache --prune --dry-run`` reports from
+        here.
+        """
+        index = self._index_data(persist_rebuild=False)
+        copy = {"clock": index["clock"],
+                "entries": {key: dict(meta)
+                            for key, meta in index["entries"].items()}}
+        return self._evict_over_limit(copy, delete=False)
+
+    def stale_versions(self) -> list[tuple[str, int]]:
+        """Version directories :meth:`prune_stale` would delete.
+
+        Read-only: returns ``(name, entry_count)`` per stale version,
+        sorted by name, touching nothing.
+        """
+        current = self.version_dir.name
+        report = []
+        try:
+            children = sorted(self.root.iterdir())
+        except OSError:
+            return []
+        for child in children:
+            if child.is_dir() and is_version_dir_name(child.name) \
+                    and child.name != current:
+                try:
+                    entries = sum(1 for _ in child.glob("*.pkl"))
+                except OSError:
+                    entries = 0
+                report.append((child.name, entries))
+        return report
 
     def prune_stale(self) -> int:
         """Delete version directories other than the current one."""

@@ -236,6 +236,25 @@ def _run_dvfs_schedule(job: Job):
     return scenario.run(job.trace.build(), list(phases))
 
 
+def _run_mc_die(job: Job):
+    """One Monte-Carlo die sample at one (Vcc, scheme) point.
+
+    The die index and the campaign's physics config ride in the job
+    options (and therefore in the canonical key), so every sampled die
+    is an independently cacheable unit across all backends.
+    """
+    # Lazy import: repro.montecarlo sits beside the engine in layering.
+    from repro.montecarlo.sampling import evaluate_die_point
+
+    config = job.option("mc")
+    die = job.option("die")
+    if config is None or die is None:
+        raise ConfigError("mc-die job needs 'mc' config and 'die' options")
+    return evaluate_die_point(config, int(die), job.vcc_mv,
+                              ClockScheme(job.scheme),
+                              solver=_solver_for(job))
+
+
 def _crash(job: Job):
     """Test-only executor: deterministic failure for error-path tests."""
     raise RuntimeError(f"injected engine crash ({job.option('note', '')})")
@@ -264,6 +283,7 @@ _EXECUTORS = {
     "faulty-bits": _run_faulty_bits,
     "extra-bypass": _run_extra_bypass,
     "dvfs-schedule": _run_dvfs_schedule,
+    "mc-die": _run_mc_die,
     "engine-selftest-crash": _crash,
     "engine-selftest-sleep": _sleep,
 }

@@ -49,6 +49,7 @@ KNOWN_KINDS = (
     "faulty-bits",
     "extra-bypass",
     "dvfs-schedule",
+    "mc-die",
     "engine-selftest-crash",
     "engine-selftest-sleep",
 )
@@ -215,6 +216,8 @@ class Job:
             bits.append(f"{self.scheme}@{self.vcc_mv:g}mV")
         if self.trace is not None:
             bits.append(f"trace={self.trace.label}")
+        if self.kind == "mc-die":
+            bits.append(f"die={self.option('die')}")
         if self.iraw_overrides:
             bits.append(",".join(f"{k}={v}" for k, v in self.iraw_overrides))
         return " ".join(bits)

@@ -42,6 +42,7 @@ from repro.experiments.spec import (
     DvfsScheduleSpec,
     ExperimentSpec,
 )
+from repro.montecarlo.spec import MonteCarloSpec
 
 __all__ = [
     "ARTIFACTS",
@@ -51,6 +52,7 @@ __all__ = [
     "Experiment",
     "ExperimentSpec",
     "KNOWN_ARTIFACTS",
+    "MonteCarloSpec",
     "Record",
     "ResultSet",
     "artifact",

@@ -224,6 +224,34 @@ def energy450_cases(sweep: VccSweep,
     }
 
 
+def stalls_rows(sweep: VccSweep, vcc_mv: float = 575.0) -> list[dict]:
+    """Section 5.2: marginal IPC cost of each IRAW avoidance mechanism."""
+    return [sweep.stall_decomposition(vcc_mv)]
+
+
+def _montecarlo_rows(experiment, reducer):
+    """Fold the experiment's resolved die-sample results.
+
+    Shared adapter for the ``yield_curve`` and ``vccmin_dist`` builds:
+    :meth:`Experiment.mc_results` memoizes the resolved batch, so the
+    builds only stream the reduction — no job rebuilding, no
+    re-submission.
+    """
+    from repro.montecarlo.campaign import vccmin_rows, yield_curve_rows
+
+    spec = experiment.spec
+    mc = spec.montecarlo
+    if mc is None:
+        raise ConfigError("the montecarlo artifacts need a [montecarlo] "
+                          "spec section")
+    results = experiment.mc_results()
+    grid, schemes = spec.grid(), spec.schemes
+    if reducer == "yield_curve":
+        return yield_curve_rows(results, grid, schemes, mc.dies,
+                                mc.confidence)
+    return vccmin_rows(results, grid, schemes, mc.dies)
+
+
 def overhead_rows() -> list[dict]:
     """Section 5.3: area and power overhead of the IRAW hardware."""
     report = AreaModel().report()
@@ -324,6 +352,30 @@ ARTIFACTS: dict[str, Artifact] = {
         description="scheduled Vcc switching with per-scheme totals",
         jobs=lambda e: e.dvfs_jobs(),
         build=_dvfs_rows,
+    ),
+    "stalls": Artifact(
+        name="stalls",
+        title="Stall decomposition",
+        description="Section 5.2 marginal IPC cost of each IRAW "
+                    "avoidance mechanism at one Vcc",
+        jobs=lambda e: e.sweep.stall_jobs(e.spec.stalls_vcc_mv),
+        build=lambda e: stalls_rows(e.sweep, e.spec.stalls_vcc_mv),
+    ),
+    "yield_curve": Artifact(
+        name="yield_curve",
+        title="Yield vs Vcc",
+        description="Monte-Carlo functional and frequency-bin yield "
+                    "per (Vcc, scheme), with Wilson intervals",
+        jobs=lambda e: e.mc_jobs(),
+        build=lambda e: _montecarlo_rows(e, "yield_curve"),
+    ),
+    "vccmin_dist": Artifact(
+        name="vccmin_dist",
+        title="Vccmin distribution",
+        description="per-die minimum functional Vcc per scheme "
+                    "(statistical generalisation of Table 1)",
+        jobs=lambda e: e.mc_jobs(),
+        build=lambda e: _montecarlo_rows(e, "vccmin_dist"),
     ),
 }
 

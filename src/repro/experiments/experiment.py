@@ -16,13 +16,18 @@ from __future__ import annotations
 
 from repro.analysis.dvfs import ScheduleSpec, schedule_job
 from repro.analysis.sweep import VccSweep
-from repro.circuits.frequency import ClockScheme
+from repro.circuits.frequency import ClockScheme, FrequencySolver
 from repro.engine.jobs import Job, job_key
 from repro.engine.runner import ParallelRunner
 from repro.errors import ConfigError
 from repro.experiments.artifacts import ARTIFACTS
 from repro.experiments.resultset import Record, ResultSet
-from repro.experiments.spec import ExperimentSpec
+from repro.experiments.spec import MONTECARLO_ARTIFACTS, ExperimentSpec
+from repro.montecarlo.campaign import (
+    montecarlo_jobs,
+    per_die_rows,
+    yield_curve_rows,
+)
 
 
 class Experiment:
@@ -43,6 +48,7 @@ class Experiment:
         self.spec = spec
         self.runner = runner or ParallelRunner()
         self._sweep: VccSweep | None = None
+        self._mc_resolved: list | None = None
         self.results: ResultSet | None = None
 
     @property
@@ -52,7 +58,8 @@ class Experiment:
             if not self.spec.profiles:
                 raise ConfigError(
                     f"experiment {self.spec.name!r} has no trace "
-                    f"population; only dvfs artifacts can run")
+                    f"population; only dvfs and montecarlo artifacts "
+                    f"can run without one")
             self._sweep = VccSweep(self.spec.sweep_settings(),
                                    runner=self.runner)
         return self._sweep
@@ -107,14 +114,39 @@ class Experiment:
                 ))
         return jobs
 
+    def mc_jobs(self) -> list[Job]:
+        """One ``mc-die`` job per (Vcc, scheme, die), in plan order.
+
+        Empty when the spec has no ``[montecarlo]`` section.  The jobs
+        key against the default calibrated solver, matching how sweep
+        points key theirs, so a recalibration invalidates both alike.
+        """
+        if self.spec.montecarlo is None:
+            return []
+        return montecarlo_jobs(self.spec.montecarlo, self.spec.grid(),
+                               self.spec.schemes,
+                               solver=FrequencySolver())
+
     def plan(self) -> list[Job]:
         """The full engine batch of the campaign (duplicates and all —
-        the runner deduplicates by canonical key at submission)."""
+        the runner deduplicates by canonical key at submission).
+
+        The montecarlo artifacts share one die batch, planned once no
+        matter how many of them the spec lists — a ``--dry-run`` job
+        count must size the campaign, not double it.
+        """
         jobs = [self._grid_job(*point) for point in self.grid_points()]
+        mc_planned = False
         for name in self.spec.artifacts:
+            if name in MONTECARLO_ARTIFACTS:
+                if mc_planned:
+                    continue
+                mc_planned = True
             jobs.extend(ARTIFACTS[name].jobs(self))
         if "dvfs" not in self.spec.artifacts:
             jobs.extend(self.dvfs_jobs())
+        if not mc_planned:
+            jobs.extend(self.mc_jobs())
         return jobs
 
     def plan_keys(self) -> list[str]:
@@ -134,6 +166,7 @@ class Experiment:
         if runner is not None:
             self.runner = runner
             self._sweep = None
+            self._mc_resolved = None
         jobs = self.plan()
         self.runner.run(jobs, label=self.spec.name)
         self.results = self._collect()
@@ -144,6 +177,8 @@ class Experiment:
                    for vcc, scheme, variant in self.grid_points()]
         if "table1" in self.spec.artifacts:
             records.extend(self._table1_records())
+        if "stalls" in self.spec.artifacts:
+            records.extend(self._stalls_records())
         records.extend(
             Record(kind="dvfs-schedule", scheme=scheme,
                    vcc_mv=0.0, variant=schedule.name,
@@ -156,7 +191,47 @@ class Experiment:
                        "phases": len(outcome.phases),
                    })
             for schedule, scheme, outcome in self.dvfs_outcomes())
+        records.extend(self._mc_records())
         return ResultSet(records)
+
+    def mc_results(self) -> list:
+        """The resolved ``mc-die`` results, in plan order (memoized).
+
+        After :meth:`run` the batch is answered entirely from the
+        runner's memo; the list is resolved once per runner binding and
+        shared by the record collection and both montecarlo artifacts,
+        so rendering never rebuilds or re-submits the job batch.
+        """
+        if self._mc_resolved is None:
+            self._mc_resolved = self.runner.run(
+                self.mc_jobs(), label=f"{self.spec.name}:montecarlo")
+        return self._mc_resolved
+
+    def _mc_records(self) -> list[Record]:
+        """Aggregate yield rows plus one Vccmin row per (scheme, die).
+
+        The reducers stream over the resolved results with O(dies)
+        state.
+        """
+        mc = self.spec.montecarlo
+        if mc is None:
+            return []
+        grid, schemes = self.spec.grid(), self.spec.schemes
+        results = self.mc_results()
+        records = [
+            Record(kind="mc-yield", scheme=row["scheme"],
+                   vcc_mv=row["vcc_mv"],
+                   metrics={key: value for key, value in row.items()
+                            if key not in ("scheme", "vcc_mv")})
+            for row in yield_curve_rows(results, grid, schemes, mc.dies,
+                                        mc.confidence)]
+        records.extend(
+            Record(kind="mc-die", scheme=row["scheme"], vcc_mv=0.0,
+                   variant=f"die{row['die']}",
+                   metrics={key: value for key, value in row.items()
+                            if key != "scheme"})
+            for row in per_die_rows(results, grid, schemes, mc.dies))
+        return records
 
     def _point_record(self, vcc_mv: float, scheme: str,
                       variant: str) -> Record:
@@ -180,6 +255,32 @@ class Experiment:
             result = self._result_of(job)
             records.append(Record(kind=job.kind, scheme=job.scheme,
                                   vcc_mv=job.vcc_mv,
+                                  metrics=_point_metrics(result)))
+        return records
+
+    #: Variant labels of the five stall-decomposition points, in the
+    #: :meth:`VccSweep.stall_jobs` order contract (the full IRAW point
+    #: carries no variant — it may coincide with a grid record).
+    _STALL_VARIANTS = ("", "stalls:all-off", "stalls:no-rf",
+                       "stalls:no-stable", "stalls:no-iq-guards")
+
+    def _stalls_records(self) -> list[Record]:
+        """One record per stall-decomposition evaluation point.
+
+        These five points were simulated for the ``stalls`` artifact and
+        must not silently vanish from the export — same contract as the
+        off-grid Table 1 points.
+        """
+        covered = {(vcc, scheme) for vcc, scheme, variant
+                   in self.grid_points() if not variant}
+        records = []
+        jobs = self.sweep.stall_jobs(self.spec.stalls_vcc_mv)
+        for job, variant in zip(jobs, self._STALL_VARIANTS):
+            if not variant and (job.vcc_mv, job.scheme) in covered:
+                continue  # already present as a grid record
+            result = self._result_of(job)
+            records.append(Record(kind=job.kind, scheme=job.scheme,
+                                  vcc_mv=job.vcc_mv, variant=variant,
                                   metrics=_point_metrics(result)))
         return records
 

@@ -78,7 +78,11 @@ class Record:
         return value
 
     def __contains__(self, name: str) -> bool:
-        return self.get(name, None) is not None or name in IDENTITY_FIELDS
+        # Membership means "this column exists", not "is non-None":
+        # censored montecarlo rows store vccmin_mv = None on purpose.
+        if name in IDENTITY_FIELDS:
+            return True
+        return any(key == name for key, _ in self.metrics)
 
     def as_dict(self) -> dict:
         """The flat row: identity columns first, then metrics."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
+import re
 from dataclasses import dataclass, field
 
 from repro.analysis.dvfs import DvfsPhase
@@ -31,13 +32,28 @@ from repro.circuits.frequency import ClockScheme
 from repro.engine.jobs import TraceSpec
 from repro.errors import ConfigError
 from repro.memory.hierarchy import MemoryConfig
+from repro.montecarlo.spec import MonteCarloSpec
 from repro.pipeline.resources import PipelineParams
-from repro.workloads.profiles import PROFILES_BY_NAME, STANDARD_PROFILES
+from repro.workloads.profiles import (
+    PROFILES_BY_NAME,
+    STANDARD_PROFILES,
+    TraceProfile,
+)
 
 #: Names the artifact registry must serve (kept here so spec validation
 #: needs no import of the registry; the registry test asserts parity).
 KNOWN_ARTIFACTS = ("table1", "fig11b", "fig12", "energy450", "overheads",
-                   "dvfs")
+                   "dvfs", "stalls", "yield_curve", "vccmin_dist")
+
+#: Artifacts that simulate the trace population (need a non-empty
+#: ``profiles`` list) and artifacts that sample dies (need a
+#: ``[montecarlo]`` section).
+POPULATION_ARTIFACTS = ("table1", "fig11b", "fig12", "energy450", "stalls")
+MONTECARLO_ARTIFACTS = ("yield_curve", "vccmin_dist")
+
+#: Default Vcc of the paper's Section 5.2 stall decomposition; shared by
+#: the field default and the to_dict omit-if-default rule.
+_STALLS_DEFAULT_VCC_MV = 575.0
 
 _SCHEME_NAMES = tuple(scheme.value for scheme in ClockScheme)
 
@@ -169,6 +185,9 @@ class ExperimentSpec:
 
     name: str = "experiment"
     profiles: tuple[str, ...] = tuple(p.name for p in STANDARD_PROFILES)
+    #: Inline (non-named) trace profiles authored directly in the spec;
+    #: reference them from ``profiles`` by their ``name``.
+    custom_profiles: tuple[TraceProfile, ...] = ()
     seeds_per_profile: int = 1
     trace_length: int = 12_000
     vcc_mv: tuple[float, ...] = ()
@@ -176,22 +195,33 @@ class ExperimentSpec:
     schemes: tuple[str, ...] = (ClockScheme.BASELINE.value,
                                 ClockScheme.IRAW.value)
     table1_vcc_mv: float = 500.0
+    #: Vcc of the Section 5.2 stall decomposition (``stalls`` artifact).
+    stalls_vcc_mv: float = _STALLS_DEFAULT_VCC_MV
     warm: bool = True
     dram_latency_ns: float = constants.DRAM_LATENCY_NS
     params: tuple = ()
     memory: tuple = ()
     ablations: tuple[AblationSpec, ...] = ()
     dvfs: tuple[DvfsScheduleSpec, ...] = ()
+    #: Monte-Carlo die-sampling campaign over the same (grid x schemes).
+    montecarlo: MonteCarloSpec | None = None
     artifacts: tuple[str, ...] = ("table1", "fig11b")
     metadata: tuple = field(default=(), compare=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "profiles",
                            tuple(str(p) for p in self.profiles))
+        object.__setattr__(self, "custom_profiles",
+                           tuple(self.custom_profiles))
+        # First-occurrence dedup: a repeated grid level would emit
+        # duplicate records (ambiguous ResultSet pivots) and double
+        # every montecarlo group; one spec = one canonical grid.
         object.__setattr__(self, "vcc_mv",
-                           tuple(float(v) for v in self.vcc_mv))
+                           tuple(dict.fromkeys(float(v)
+                                               for v in self.vcc_mv)))
         object.__setattr__(self, "schemes",
-                           tuple(str(s) for s in self.schemes))
+                           tuple(dict.fromkeys(str(s)
+                                               for s in self.schemes)))
         object.__setattr__(self, "artifacts",
                            tuple(str(a) for a in self.artifacts))
         object.__setattr__(self, "ablations", tuple(self.ablations))
@@ -204,11 +234,46 @@ class ExperimentSpec:
                            tuple(sorted(dict(self.metadata).items())))
         if not self.name:
             raise ConfigError("experiment needs a name")
+        custom = {}
+        for profile in self.custom_profiles:
+            if not isinstance(profile, TraceProfile):
+                raise ConfigError(
+                    f"experiment {self.name!r}: custom profiles must be "
+                    f"TraceProfile instances, got "
+                    f"{type(profile).__name__}")
+            if not re.fullmatch(r"[A-Za-z0-9_-]+", profile.name):
+                # The name becomes a [population.custom.<name>] TOML
+                # table header, where only bare keys are supported.
+                raise ConfigError(
+                    f"experiment {self.name!r}: custom profile name "
+                    f"{profile.name!r} must use only letters, digits, "
+                    f"'-' and '_'")
+            if profile.name in PROFILES_BY_NAME:
+                raise ConfigError(
+                    f"experiment {self.name!r}: custom profile "
+                    f"{profile.name!r} shadows a built-in profile")
+            if profile.name in custom:
+                raise ConfigError(
+                    f"experiment {self.name!r}: duplicate custom "
+                    f"profile {profile.name!r}")
+            custom[profile.name] = profile
         for profile in self.profiles:
-            _profile(profile, f"experiment {self.name!r}")
-        if not self.profiles and not self.dvfs:
+            if profile not in custom:
+                _profile(profile, f"experiment {self.name!r}")
+        unused = sorted(set(custom) - set(self.profiles))
+        if unused:
+            # An authored-but-unreferenced inline profile is almost
+            # certainly a typo in `profiles`; silence would drop the
+            # workload the user just defined.
+            raise ConfigError(
+                f"experiment {self.name!r}: custom profile(s) "
+                f"{', '.join(repr(name) for name in unused)} are "
+                f"defined but never referenced from 'profiles'")
+        if not self.profiles and not self.dvfs \
+                and self.montecarlo is None:
             raise ConfigError(f"experiment {self.name!r} has no "
-                              f"population and no dvfs schedules")
+                              f"population, no dvfs schedules and no "
+                              f"montecarlo campaign")
         if self.seeds_per_profile < 1 or self.trace_length < 1:
             raise ConfigError(f"experiment {self.name!r}: population "
                               f"sizing must be positive")
@@ -220,11 +285,24 @@ class ExperimentSpec:
         if not self.schemes:
             raise ConfigError(f"experiment {self.name!r} needs at least "
                               f"one scheme")
+        if self.montecarlo is not None \
+                and not isinstance(self.montecarlo, MonteCarloSpec):
+            raise ConfigError(f"experiment {self.name!r}: montecarlo "
+                              f"must be a MonteCarloSpec")
         for artifact in self.artifacts:
             if artifact not in KNOWN_ARTIFACTS:
                 raise ConfigError(
                     f"unknown artifact {artifact!r}; known: "
                     f"{', '.join(KNOWN_ARTIFACTS)}")
+            if artifact in POPULATION_ARTIFACTS and not self.profiles:
+                raise ConfigError(
+                    f"experiment {self.name!r} renders {artifact!r} but "
+                    f"has no trace population")
+            if artifact in MONTECARLO_ARTIFACTS \
+                    and self.montecarlo is None:
+                raise ConfigError(
+                    f"experiment {self.name!r} renders {artifact!r} but "
+                    f"has no [montecarlo] section")
         if "dvfs" in self.artifacts and not self.dvfs:
             raise ConfigError(f"experiment {self.name!r} renders the "
                               f"'dvfs' artifact but defines no schedules")
@@ -249,11 +327,16 @@ class ExperimentSpec:
     def memory_config(self) -> MemoryConfig:
         return dataclasses.replace(MemoryConfig(), **dict(self.memory))
 
+    def profile_objects(self) -> tuple[TraceProfile, ...]:
+        """The resolved population profiles, custom definitions first."""
+        custom = {p.name: p for p in self.custom_profiles}
+        return tuple(custom.get(name, PROFILES_BY_NAME.get(name))
+                     for name in self.profiles)
+
     def sweep_settings(self) -> SweepSettings:
         """The :class:`VccSweep` settings this spec's population implies."""
         return SweepSettings(
-            profiles=tuple(PROFILES_BY_NAME[name]
-                           for name in self.profiles),
+            profiles=self.profile_objects(),
             seeds_per_profile=self.seeds_per_profile,
             trace_length=self.trace_length,
             warm=self.warm,
@@ -278,10 +361,18 @@ class ExperimentSpec:
                       "dram_latency_ns": self.dram_latency_ns},
             "table1": {"vcc_mv": self.table1_vcc_mv},
         }
+        if self.custom_profiles:
+            data["population"]["custom"] = {
+                profile.name: _profile_overrides(profile)
+                for profile in self.custom_profiles}
         if self.vcc_mv:
             data["grid"]["vcc_mv"] = list(self.vcc_mv)
         if self.step_mv is not None:
             data["grid"]["step_mv"] = self.step_mv
+        if self.stalls_vcc_mv != _STALLS_DEFAULT_VCC_MV:
+            data["stalls"] = {"vcc_mv": self.stalls_vcc_mv}
+        if self.montecarlo is not None:
+            data["montecarlo"] = self.montecarlo.to_dict()
         if self.params:
             data["params"] = dict(self.params)
         if self.memory:
@@ -299,22 +390,31 @@ class ExperimentSpec:
         data = _checked_keys(
             dict(data),
             {"name", "artifacts", "population", "grid", "sweep", "table1",
-             "params", "memory", "ablations", "dvfs", "metadata"},
+             "stalls", "montecarlo", "params", "memory", "ablations",
+             "dvfs", "metadata"},
             "experiment")
         population = _checked_keys(
             dict(data.get("population", {})),
-            {"profiles", "seeds_per_profile", "trace_length"}, "population")
+            {"profiles", "custom", "seeds_per_profile", "trace_length"},
+            "population")
         grid = _checked_keys(dict(data.get("grid", {})),
                              {"vcc_mv", "step_mv", "schemes"}, "grid")
         sweep = _checked_keys(dict(data.get("sweep", {})),
                               {"warm", "dram_latency_ns"}, "sweep")
         table1 = _checked_keys(dict(data.get("table1", {})), {"vcc_mv"},
                                "table1")
+        stalls = _checked_keys(dict(data.get("stalls", {})), {"vcc_mv"},
+                               "stalls")
         kwargs: dict = {"name": str(data.get("name", "experiment"))}
         if "artifacts" in data:
             kwargs["artifacts"] = tuple(data["artifacts"])
         if "profiles" in population:
             kwargs["profiles"] = tuple(population["profiles"])
+        if "custom" in population:
+            kwargs["custom_profiles"] = tuple(
+                _custom_profile(name, overrides)
+                for name, overrides
+                in dict(population["custom"]).items())
         if "seeds_per_profile" in population:
             kwargs["seeds_per_profile"] = int(
                 population["seeds_per_profile"])
@@ -332,6 +432,11 @@ class ExperimentSpec:
             kwargs["dram_latency_ns"] = float(sweep["dram_latency_ns"])
         if "vcc_mv" in table1:
             kwargs["table1_vcc_mv"] = float(table1["vcc_mv"])
+        if "vcc_mv" in stalls:
+            kwargs["stalls_vcc_mv"] = float(stalls["vcc_mv"])
+        if "montecarlo" in data:
+            kwargs["montecarlo"] = MonteCarloSpec.from_dict(
+                data["montecarlo"])
         if "params" in data:
             kwargs["params"] = tuple(dict(data["params"]).items())
         if "memory" in data:
@@ -419,6 +524,58 @@ def _profile(name, owner: str):
         raise ConfigError(
             f"{owner}: unknown profile {name!r} (known: "
             f"{', '.join(sorted(PROFILES_BY_NAME))})") from None
+
+
+def _profile_overrides(profile: TraceProfile) -> dict:
+    """The non-default fields of an inline profile (spec-file form)."""
+    overrides = {}
+    for field_ in dataclasses.fields(TraceProfile):
+        if field_.name == "name":
+            continue
+        value = getattr(profile, field_.name)
+        if value != field_.default:
+            overrides[field_.name] = value
+    return overrides
+
+
+def _custom_profile(name, overrides) -> TraceProfile:
+    """Build an inline :class:`TraceProfile` from a spec-file table.
+
+    Values are coerced to the field's declared scalar type so that
+    ``5`` and ``5.0`` in a spec file mean the same profile — and the
+    same canonical job keys — for float-typed knobs.
+    """
+    overrides = dict(overrides)
+    fields_by_name = {field_.name: field_
+                      for field_ in dataclasses.fields(TraceProfile)
+                      if field_.name != "name"}
+    unknown = sorted(set(overrides) - set(fields_by_name))
+    if unknown:
+        raise ConfigError(
+            f"custom profile {name!r}: unknown fields {unknown} "
+            f"(known: {sorted(fields_by_name)})")
+    kwargs = {}
+    for key, value in overrides.items():
+        default = fields_by_name[key].default
+        try:
+            if isinstance(default, bool):  # pragma: no cover - future
+                kwargs[key] = bool(value)
+            elif isinstance(default, float):
+                kwargs[key] = float(value)
+            elif isinstance(default, int):
+                as_float = float(value)
+                if as_float != int(as_float):
+                    raise ConfigError(
+                        f"custom profile {name!r}: field {key!r} must "
+                        f"be an integer, got {value!r}")
+                kwargs[key] = int(as_float)
+            else:
+                kwargs[key] = str(value)
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"custom profile {name!r}: bad value {value!r} for "
+                f"field {key!r}") from None
+    return TraceProfile(name=str(name), **kwargs)
 
 
 def _sorted_overrides(overrides, config_type, owner: str) -> tuple:

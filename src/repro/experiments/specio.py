@@ -237,7 +237,7 @@ def _emit_table(table: dict, path: tuple, lines: list[str]) -> None:
     if path and (scalars or not (subtables or arrays)):
         if lines:
             lines.append("")
-        lines.append(f"[{'.'.join(path)}]")
+        lines.append(f"[{_emit_path(path)}]")
     for key, value in scalars.items():
         lines.append(f"{_emit_key(key)} = {_emit_value(value)}")
     for key, value in subtables.items():
@@ -246,7 +246,7 @@ def _emit_table(table: dict, path: tuple, lines: list[str]) -> None:
         for element in elements:
             if lines:
                 lines.append("")
-            lines.append(f"[[{'.'.join(path + (key,))}]]")
+            lines.append(f"[[{_emit_path(path + (key,))}]]")
             _emit_array_element(element, path + (key,), lines)
 
 
@@ -261,12 +261,12 @@ def _emit_array_element(element: dict, path: tuple,
         lines.append(f"{_emit_key(key)} = {_emit_value(value)}")
     for key, value in subtables.items():
         lines.append("")
-        lines.append(f"[{'.'.join(path + (key,))}]")
+        lines.append(f"[{_emit_path(path + (key,))}]")
         _emit_array_element(value, path + (key,), lines)
     for key, elements in arrays.items():
         for nested in elements:
             lines.append("")
-            lines.append(f"[[{'.'.join(path + (key,))}]]")
+            lines.append(f"[[{_emit_path(path + (key,))}]]")
             _emit_array_element(nested, path + (key,), lines)
 
 
@@ -279,6 +279,18 @@ def _emit_key(key: str) -> str:
     if not key or any(c in key for c in " .[]\"'=#"):
         raise ConfigError(f"cannot emit TOML key {key!r}")
     return key
+
+
+def _emit_path(path: tuple) -> str:
+    """A validated dotted table-header path.
+
+    Header components come from user-controlled names (e.g. inline
+    custom profiles keyed by name), so each one gets the same bare-key
+    validation as scalar keys — a space or dot must fail the save with
+    a clear error, never silently emit a header the reader rejects or
+    mis-nests.
+    """
+    return ".".join(_emit_key(component) for component in path)
 
 
 def _emit_value(value) -> str:

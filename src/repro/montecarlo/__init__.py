@@ -1,0 +1,63 @@
+"""Monte-Carlo die sampling: yield, Vccmin and frequency binning.
+
+The paper's low-Vcc argument is statistical — the baseline cycle time is
+set for **6-sigma** weak cells, and the alternatives trade margin for
+disabled capacity — but deterministic sigma margins
+(:mod:`repro.circuits.variation`) only reproduce the *means*.  This
+package samples whole dies: each die draws a seeded Gaussian Vth map
+over the paper's SRAM arrays (a die-to-die mean shift plus the
+within-die worst-case cell of every array, derived from the calibrated
+:class:`~repro.circuits.variation.VariationModel`), and is then
+evaluated against the *design* clock schedule at every (Vcc, scheme)
+point of a campaign grid.
+
+Each sampled (die, Vcc, scheme) point is an ordinary engine job (kind
+``mc-die``): the die seed is folded into the canonical job key, so
+deduplication, on-disk caching and all three execution backends work
+unchanged, and a 256-die campaign turns every grid point into hundreds
+of independently cacheable units.  Reduction is streaming
+(:mod:`repro.montecarlo.stats`): yields with Wilson confidence
+intervals, per-die Vccmin distributions, and frequency-bin statistics,
+never materialising per-die populations beyond O(dies) aggregates.
+
+Layering: :mod:`repro.montecarlo.sampling` sits beside ``circuits``
+(imported lazily by the engine executor); :mod:`repro.montecarlo.spec`
+and :mod:`repro.montecarlo.campaign` serve the declarative experiment
+layer on top.
+"""
+
+from repro.montecarlo.campaign import (
+    montecarlo_jobs,
+    per_die_rows,
+    vccmin_rows,
+    yield_curve_rows,
+)
+from repro.montecarlo.sampling import (
+    DiePointResult,
+    DieSample,
+    MonteCarloConfig,
+    evaluate_die_point,
+    sample_die,
+)
+from repro.montecarlo.spec import MonteCarloSpec
+from repro.montecarlo.stats import (
+    DiscreteDistribution,
+    StreamingStats,
+    wilson_interval,
+)
+
+__all__ = [
+    "DiePointResult",
+    "DieSample",
+    "DiscreteDistribution",
+    "MonteCarloConfig",
+    "MonteCarloSpec",
+    "StreamingStats",
+    "evaluate_die_point",
+    "montecarlo_jobs",
+    "per_die_rows",
+    "sample_die",
+    "vccmin_rows",
+    "wilson_interval",
+    "yield_curve_rows",
+]

@@ -1,0 +1,197 @@
+"""Campaign planning and streaming reduction for die sampling.
+
+:func:`montecarlo_jobs` compiles a :class:`MonteCarloSpec` against a
+Vcc grid and scheme list into one flat batch of ``mc-die`` engine jobs
+— one per (Vcc, scheme, die), in that nesting order.  Each job's
+canonical key derives from the campaign's physics config plus the die
+index, so every die at every grid point is an independently cacheable,
+dedupable, backend-agnostic unit.
+
+The reducers consume the result sequence *in plan order* and fold it
+with streaming accumulators (O(grid x schemes + dies) state):
+
+* :func:`yield_curve_rows` — functional and frequency (top-bin) yield
+  per (Vcc, scheme) with Wilson confidence intervals, plus
+  frequency-bin statistics of the die population;
+* :func:`vccmin_rows` — the per-die Vccmin distribution per scheme
+  (the statistical generalisation of the paper's Table 1 margins);
+* :func:`per_die_rows` — one row per (scheme, die) with its Vccmin and
+  sampled worst-cell sigma, for ResultSet export.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.frequency import FrequencySolver
+from repro.engine.jobs import Job
+from repro.errors import ConfigError
+from repro.montecarlo.spec import MonteCarloSpec
+from repro.montecarlo.stats import (
+    DiscreteDistribution,
+    StreamingStats,
+    wilson_interval,
+)
+
+
+def montecarlo_jobs(mc: MonteCarloSpec, grid, schemes,
+                    solver: FrequencySolver | None = None) -> list[Job]:
+    """One ``mc-die`` job per (Vcc, scheme, die), in plan order.
+
+    The solver's delay model and nominal frequency ride in the job
+    options exactly as sweep points key them, so a recalibration
+    invalidates die samples and population points alike.
+    """
+    grid = tuple(float(vcc) for vcc in grid)
+    schemes = tuple(str(scheme) for scheme in schemes)
+    if not grid:
+        raise ConfigError("a montecarlo campaign needs a Vcc grid")
+    if not schemes:
+        raise ConfigError("a montecarlo campaign needs clock schemes")
+    solver = solver or FrequencySolver()
+    base_options = (
+        ("mc", mc.config()),
+        ("delay_model", solver.delay_model),
+        ("nominal_frequency_mhz", solver.nominal_frequency_mhz),
+    )
+    return [
+        Job(kind="mc-die", vcc_mv=vcc, scheme=scheme,
+            options=base_options + (("die", die),))
+        for vcc in grid
+        for scheme in schemes
+        for die in range(mc.dies)
+    ]
+
+
+def _grouped(results, grid, schemes, dies: int):
+    """Yield ``(vcc, scheme, one_group_list)`` in plan order.
+
+    Groups are materialized ``dies`` at a time (tiny), so a partially
+    consumed group can never shift later (vcc, scheme) labels, and a
+    results sequence that does not match the campaign shape fails with
+    an explicit error instead of a mid-stream ``StopIteration``.
+    """
+    iterator = iter(results)
+    for vcc in grid:
+        for scheme in schemes:
+            group = [result for _, result
+                     in zip(range(dies), iterator)]
+            if len(group) != dies:
+                raise ConfigError(
+                    f"montecarlo reduction expected {dies} die results "
+                    f"for ({vcc:g} mV, {scheme}), got {len(group)}")
+            yield vcc, scheme, group
+    leftover = next(iterator, None)
+    if leftover is not None:
+        raise ConfigError(
+            "montecarlo reduction got more results than "
+            f"{len(grid)} Vcc x {len(schemes)} schemes x {dies} dies — "
+            "dies count does not match the campaign that produced them")
+
+
+def yield_curve_rows(results, grid, schemes, dies: int,
+                     confidence: float = 0.95) -> list[dict]:
+    """Functional and frequency yield per (Vcc, scheme), streaming.
+
+    ``results`` must be the :func:`montecarlo_jobs` results in plan
+    order (the runner returns them that way).
+    """
+    rows = []
+    for vcc, scheme, group in _grouped(results, grid, schemes, dies):
+        functional = meets = 0
+        frequency = StreamingStats()
+        slowdown = StreamingStats()
+        for result in group:
+            functional += bool(result.functional)
+            meets += bool(result.meets_design)
+            frequency.add(result.die_frequency_mhz)
+            slowdown.add(result.slowdown)
+        f_low, f_high = wilson_interval(functional, dies, confidence)
+        d_low, d_high = wilson_interval(meets, dies, confidence)
+        rows.append({
+            "vcc_mv": float(vcc),
+            "scheme": str(scheme),
+            "dies": dies,
+            "functional_yield": functional / dies,
+            "functional_low": f_low,
+            "functional_high": f_high,
+            "frequency_yield": meets / dies,
+            "frequency_low": d_low,
+            "frequency_high": d_high,
+            **frequency.as_dict("frequency_mhz_"),
+            "slowdown_mean": slowdown.mean,
+            "slowdown_max": slowdown.maximum,
+        })
+    return rows
+
+
+def _fold_vccmin(results, grid, schemes, dies: int):
+    """Per-scheme ``(vccmin per die, worst sigma per die)`` maps.
+
+    A die's Vccmin is the lowest grid Vcc where it is functional; a die
+    functional nowhere on the grid is *censored* (``None``) and is
+    reported as a count, not a fake number.  State is O(dies) per
+    scheme — the per-point results are consumed as a stream.
+    """
+    vccmin: dict[str, dict[int, float | None]] = {
+        str(s): {die: None for die in range(dies)} for s in schemes}
+    sigma: dict[int, float] = {}
+    for vcc, scheme, group in _grouped(results, grid, schemes, dies):
+        per_die = vccmin[str(scheme)]
+        for die, result in enumerate(group):  # plan order = die order
+            sigma[die] = result.worst_sigma
+            if result.functional:
+                best = per_die[die]
+                if best is None or vcc < best:
+                    per_die[die] = float(vcc)
+    return vccmin, sigma
+
+
+def vccmin_rows(results, grid, schemes, dies: int) -> list[dict]:
+    """Per-scheme Vccmin distribution rows (mean/std/percentiles)."""
+    vccmin, _ = _fold_vccmin(results, grid, schemes, dies)
+    floor = min(float(v) for v in grid)
+    rows = []
+    for scheme in schemes:
+        distribution = DiscreteDistribution()
+        censored = 0
+        at_floor = 0
+        for value in vccmin[str(scheme)].values():
+            if value is None:
+                censored += 1
+                continue
+            distribution.add(value)
+            at_floor += value <= floor
+        rows.append({
+            "scheme": str(scheme),
+            "dies": dies,
+            "censored": censored,
+            "vccmin_mean_mv": distribution.mean,
+            "vccmin_std_mv": distribution.std,
+            "vccmin_p10_mv": distribution.percentile(10.0),
+            "vccmin_p50_mv": distribution.percentile(50.0),
+            "vccmin_p90_mv": distribution.percentile(90.0),
+            "vccmin_min_mv": distribution.minimum,
+            "vccmin_max_mv": distribution.maximum,
+            "yield_at_floor": at_floor / dies,
+        })
+    return rows
+
+
+def per_die_rows(results, grid, schemes, dies: int) -> list[dict]:
+    """One flat row per (scheme, die): Vccmin + sampled identity.
+
+    A censored die (functional nowhere on the grid) exports
+    ``vccmin_mv = None`` — ``null`` in JSON, an empty CSV cell — never
+    a NaN token that would make the JSON export unparseable.
+    """
+    vccmin, sigma = _fold_vccmin(results, grid, schemes, dies)
+    return [
+        {
+            "scheme": str(scheme),
+            "die": die,
+            "vccmin_mv": value,
+            "censored": value is None,
+            "worst_sigma": sigma[die],
+        }
+        for scheme in schemes
+        for die, value in sorted(vccmin[str(scheme)].items())
+    ]

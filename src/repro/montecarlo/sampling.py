@@ -1,0 +1,246 @@
+"""Per-die SRAM variation sampling and die-level evaluation.
+
+A *die sample* is the statistical identity of one manufactured chip:
+
+* a **die-to-die** mean Vth shift (one Gaussian draw, in millivolts),
+  modelling the slow process corner the whole die landed on;
+* the **within-die worst cell** of every SRAM array, drawn from the
+  exact distribution of the maximum of ``total_bits`` i.i.d. standard
+  Gaussians via inverse-CDF (one uniform per array — no per-cell loop,
+  but statistically identical to sampling every cell and taking the
+  max).
+
+Both are derived from a single per-die RNG stream seeded by
+``sha256("repro-mc:<seed>:<die>")``, so a die's sample depends only on
+the campaign seed and the die index — never on worker count, execution
+backend, or evaluation order.  That invariant is what lets each
+(die, Vcc, scheme) point run as an independent, cacheable engine job.
+
+Evaluation compares the die against the *design* schedule: the shipped
+part clocks every die at the frequency the design margin
+(``design_sigma``, the paper's 6-sigma baseline) dictates at each Vcc.
+A die whose worst cell is weaker than the margin needs a longer phase;
+the ratio of its own achievable phase to the design phase is its
+``slowdown``.  ``meets_design`` (top frequency bin) additionally
+requires an IRAW die to stabilise within the design's N at the design
+clock.  ``functional`` applies the binning floor ``max_slowdown`` —
+dies slower than that at a given Vcc cannot be shipped at any bin, and
+the lowest grid Vcc where a die is functional is its **Vccmin**.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass
+from statistics import NormalDist
+
+from repro.circuits.frequency import ClockScheme, FrequencySolver
+from repro.circuits.sram import silverthorne_arrays
+from repro.circuits.variation import VTH_MV_PER_SIGMA, VariationModel
+from repro.errors import ConfigError
+
+#: Die-to-die mean Vth shift sigma, in millivolts.  Die-level systematic
+#: variation is a sizable fraction of the cell-to-cell sigma at 45 nm;
+#: 10 mV (one cell sigma at the default 10 mV/sigma) spreads sampled
+#: dies across roughly +/-3 effective sigma around the within-die
+#: worst-cell expectation.
+DIE_SIGMA_MV = 10.0
+
+#: Default binning floor: a die slower than this multiple of the design
+#: cycle time at a given Vcc is not sellable at any frequency bin there
+#: (a 25% span is a typical speed-grade ladder).  With the calibrated
+#: delay model this floor starts to bind below ~500 mV, which is what
+#: produces the Vccmin spread.
+MAX_SLOWDOWN = 1.25
+
+_STANDARD_NORMAL = NormalDist()
+
+#: Tolerance absorbing float rounding in phase-delay comparisons: a die
+#: whose worst cell is *stronger* than the design margin must never be
+#: classed below the design bin because of last-bit noise.
+_PHASE_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class MonteCarloConfig:
+    """The job-key identity of one sampling campaign.
+
+    Deliberately excludes presentation-only knobs (die count, confidence
+    level): adding dies to a campaign or re-rendering at a different
+    confidence must reuse every cached per-die result, exactly like
+    adding a trace to a population re-simulates only the new trace.
+    """
+
+    seed: int = 0
+    sigma_mv: float = VTH_MV_PER_SIGMA
+    design_sigma: float = 6.0
+    die_sigma_mv: float = DIE_SIGMA_MV
+    max_slowdown: float = MAX_SLOWDOWN
+    #: Array names to sample (empty = all Silverthorne arrays).
+    arrays: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Canonical order: sampling iterates arrays sorted by name, so
+        # author order must not leak into the job key — ["RF", "DL0"]
+        # and ["DL0", "RF"] are the same campaign and the same cache.
+        object.__setattr__(self, "arrays",
+                           tuple(sorted({str(name)
+                                         for name in self.arrays})))
+        if self.sigma_mv <= 0:
+            raise ConfigError("montecarlo sigma_mv must be positive")
+        if self.design_sigma <= 0:
+            raise ConfigError("montecarlo design_sigma must be positive")
+        if self.die_sigma_mv < 0:
+            raise ConfigError("montecarlo die_sigma_mv must be >= 0")
+        if self.max_slowdown < 1.0:
+            raise ConfigError("montecarlo max_slowdown must be >= 1.0")
+        known = {array.name for array in silverthorne_arrays()}
+        for name in self.arrays:
+            if name not in known:
+                raise ConfigError(
+                    f"montecarlo: unknown SRAM array {name!r} (known: "
+                    f"{', '.join(sorted(known))})")
+
+    def array_bits(self) -> tuple[tuple[str, int], ...]:
+        """(name, total_bits) of the sampled arrays, sorted by name."""
+        arrays = {a.name: a.total_bits for a in silverthorne_arrays()}
+        names = self.arrays or tuple(arrays)
+        return tuple((name, arrays[name]) for name in sorted(names))
+
+
+@dataclass(frozen=True)
+class DieSample:
+    """The sampled statistical identity of one die."""
+
+    die: int
+    #: Die-to-die mean Vth shift, in millivolts (positive = slow die).
+    offset_mv: float
+    #: Within-die worst-cell deviation per array, in cell sigmas,
+    #: sorted by array name.
+    worst_sigma: tuple[tuple[str, float], ...]
+
+    def effective_sigma(self, sigma_mv: float) -> float:
+        """Worst cell across all arrays, die offset folded in, in
+        units of the cell sigma (comparable to the design margin)."""
+        worst = max(sigma for _, sigma in self.worst_sigma)
+        return worst + self.offset_mv / sigma_mv
+
+
+@dataclass(frozen=True)
+class DiePointResult:
+    """One die evaluated at one (Vcc, scheme) point of the grid."""
+
+    die: int
+    vcc_mv: float
+    scheme: str
+    #: The die's effective worst-cell sigma (offset folded in).
+    worst_sigma: float
+    #: Frequency the die achieves clocked for its own worst cell.
+    die_frequency_mhz: float
+    #: Frequency the design schedule dictates at this point.
+    design_frequency_mhz: float
+    #: Die phase delay / design phase delay — below 1.0 for the many
+    #: dies whose worst cell beats the design margin, above it for the
+    #: slow tail that drives the yield curves.
+    slowdown: float
+    #: Die is sellable at *some* bin here (slowdown <= max_slowdown).
+    functional: bool
+    #: Die makes the top bin: runs at the design clock (and, for IRAW,
+    #: stabilises within the design's N).
+    meets_design: bool
+    #: Stabilization cycles the design schedule provisions here.
+    design_stabilization: int
+    #: Cycles this die's worst cell needs at the design clock.
+    required_stabilization: int
+
+
+def die_rng(seed: int, die: int) -> random.Random:
+    """The die's private RNG stream, independent of everything else."""
+    digest = hashlib.sha256(f"repro-mc:{seed}:{die}".encode("ascii"))
+    return random.Random(int.from_bytes(digest.digest()[:16], "big"))
+
+
+def worst_cell_sigma(u: float, total_bits: int) -> float:
+    """Quantile of the max of ``total_bits`` standard Gaussians.
+
+    Inverse-CDF sampling: if the array's cells are i.i.d. N(0, 1), the
+    CDF of their maximum is ``Phi(x) ** n``, so the ``u``-quantile is
+    ``Phi^-1(u ** (1/n))`` — one uniform draw replaces ``n`` Gaussians
+    exactly.  Computed in log space (``u ** (1/n)`` underflows its
+    distance from 1.0 for large arrays).
+    """
+    if total_bits < 1:
+        raise ConfigError("worst_cell_sigma needs at least one cell")
+    u = min(max(u, 1e-300), 1.0 - 1e-16)
+    p = math.exp(math.log(u) / total_bits)
+    return _STANDARD_NORMAL.inv_cdf(min(p, 1.0 - 1e-16))
+
+
+def sample_die(config: MonteCarloConfig, die: int) -> DieSample:
+    """Draw one die's Vth map (deterministic in ``(seed, die)``).
+
+    Draw order is part of the on-disk identity: the die offset first,
+    then one uniform per array in sorted-name order.
+    """
+    if die < 0:
+        raise ConfigError(f"die index must be >= 0 (got {die})")
+    rng = die_rng(config.seed, die)
+    offset_mv = rng.gauss(0.0, config.die_sigma_mv) \
+        if config.die_sigma_mv > 0 else 0.0
+    worst = tuple(
+        (name, worst_cell_sigma(rng.random(), bits))
+        for name, bits in config.array_bits())
+    return DieSample(die=die, offset_mv=offset_mv, worst_sigma=worst)
+
+
+def evaluate_die_point(config: MonteCarloConfig, die: int, vcc_mv: float,
+                       scheme: ClockScheme,
+                       solver: FrequencySolver | None = None,
+                       ) -> DiePointResult:
+    """Evaluate one sampled die against the design schedule at one point.
+
+    ``solver`` carries the calibrated (typical-margin) delay model and
+    the nominal frequency; the design schedule re-margins it at
+    ``config.design_sigma`` and the die at its own sampled worst cell.
+    """
+    solver = solver or FrequencySolver()
+    variation = VariationModel(solver.delay_model,
+                               vth_mv_per_sigma=config.sigma_mv)
+    sample = sample_die(config, die)
+    effective = sample.effective_sigma(config.sigma_mv)
+
+    design_model = variation.model_at_sigma(config.design_sigma)
+    die_model = variation.model_at_sigma(effective)
+    nominal = solver.nominal_frequency_mhz
+    design_point = FrequencySolver(
+        design_model, nominal_frequency_mhz=nominal,
+    ).operating_point(vcc_mv, scheme)
+    die_solver = FrequencySolver(die_model, nominal_frequency_mhz=nominal)
+    die_point = die_solver.operating_point(vcc_mv, scheme)
+
+    slowdown = die_point.phase_delay / design_point.phase_delay
+    # What this die's worst cell needs when run at the *design* clock:
+    # for IRAW that is its stabilization count, for write-complete
+    # schemes any nonzero value means the write no longer fits.
+    required = die_solver.stabilization_cycles_at(
+        vcc_mv, design_point.phase_delay)
+    meets_design = slowdown <= 1.0 + _PHASE_EPS
+    if scheme is ClockScheme.IRAW:
+        meets_design = meets_design \
+            and required <= design_point.stabilization_cycles
+    functional = slowdown <= config.max_slowdown + _PHASE_EPS
+    return DiePointResult(
+        die=die,
+        vcc_mv=vcc_mv,
+        scheme=scheme.value,
+        worst_sigma=effective,
+        die_frequency_mhz=die_point.frequency_mhz,
+        design_frequency_mhz=design_point.frequency_mhz,
+        slowdown=slowdown,
+        functional=functional,
+        meets_design=meets_design,
+        design_stabilization=design_point.stabilization_cycles,
+        required_stabilization=required,
+    )

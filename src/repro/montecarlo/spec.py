@@ -1,0 +1,109 @@
+"""The declarative ``[montecarlo]`` section of an experiment spec.
+
+:class:`MonteCarloSpec` is the user-authored description of one
+sampling campaign: how many dies, which seed, and the variation-model
+knobs.  It splits into two identities:
+
+* :meth:`MonteCarloSpec.config` — the :class:`~repro.montecarlo.sampling.MonteCarloConfig`
+  folded into every per-die job key (seed and physics knobs only);
+* presentation knobs (``dies``, ``confidence``) that deliberately stay
+  *out* of the job key, so growing a campaign from 64 to 256 dies
+  reuses all 64 cached dies, and re-rendering at a different confidence
+  level simulates nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.variation import VTH_MV_PER_SIGMA
+from repro.errors import ConfigError
+from repro.montecarlo.sampling import (
+    DIE_SIGMA_MV,
+    MAX_SLOWDOWN,
+    MonteCarloConfig,
+)
+
+
+@dataclass(frozen=True)
+class MonteCarloSpec:
+    """One die-sampling campaign (population of dies + physics knobs)."""
+
+    dies: int = 64
+    seed: int = 0
+    confidence: float = 0.95
+    sigma_mv: float = VTH_MV_PER_SIGMA
+    design_sigma: float = 6.0
+    die_sigma_mv: float = DIE_SIGMA_MV
+    max_slowdown: float = MAX_SLOWDOWN
+    arrays: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Same canonical order as MonteCarloConfig: author order of the
+        # array subset is presentation, not identity.
+        object.__setattr__(self, "arrays",
+                           tuple(sorted({str(name)
+                                         for name in self.arrays})))
+        if self.dies < 1:
+            raise ConfigError(f"montecarlo needs at least one die "
+                              f"(got {self.dies})")
+        if not 0 < self.confidence < 1:
+            raise ConfigError(f"montecarlo confidence must be in (0, 1), "
+                              f"got {self.confidence}")
+        # Physics-knob validation lives in MonteCarloConfig; building it
+        # eagerly surfaces bad values at spec-load time.
+        self.config()
+
+    def config(self) -> MonteCarloConfig:
+        """The job-key subset of this campaign (see module docstring)."""
+        return MonteCarloConfig(
+            seed=self.seed,
+            sigma_mv=self.sigma_mv,
+            design_sigma=self.design_sigma,
+            die_sigma_mv=self.die_sigma_mv,
+            max_slowdown=self.max_slowdown,
+            arrays=self.arrays,
+        )
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data: dict = {
+            "dies": self.dies,
+            "seed": self.seed,
+            "confidence": self.confidence,
+            "sigma_mv": self.sigma_mv,
+            "design_sigma": self.design_sigma,
+            "die_sigma_mv": self.die_sigma_mv,
+            "max_slowdown": self.max_slowdown,
+        }
+        if self.arrays:
+            data["arrays"] = list(self.arrays)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MonteCarloSpec":
+        data = dict(data)
+        unknown = sorted(set(data) - {
+            "dies", "seed", "confidence", "sigma_mv", "design_sigma",
+            "die_sigma_mv", "max_slowdown", "arrays"})
+        if unknown:
+            raise ConfigError(f"unknown montecarlo spec keys: {unknown}")
+        kwargs: dict = {}
+        if "dies" in data:
+            kwargs["dies"] = int(data["dies"])
+        if "seed" in data:
+            kwargs["seed"] = int(data["seed"])
+        if "confidence" in data:
+            kwargs["confidence"] = float(data["confidence"])
+        if "sigma_mv" in data:
+            kwargs["sigma_mv"] = float(data["sigma_mv"])
+        if "design_sigma" in data:
+            kwargs["design_sigma"] = float(data["design_sigma"])
+        if "die_sigma_mv" in data:
+            kwargs["die_sigma_mv"] = float(data["die_sigma_mv"])
+        if "max_slowdown" in data:
+            kwargs["max_slowdown"] = float(data["max_slowdown"])
+        if "arrays" in data:
+            kwargs["arrays"] = tuple(data["arrays"])
+        return cls(**kwargs)

@@ -1,0 +1,154 @@
+"""Streaming statistics for die-sample reductions.
+
+Campaign reducers fold thousands of per-die results into aggregates
+without materialising the raw values: :class:`StreamingStats` is a
+Welford accumulator (mean/std/min/max in O(1) memory),
+:class:`DiscreteDistribution` counts values drawn from a small known
+set (per-die Vccmin lives on the campaign's Vcc grid) and answers
+exact nearest-rank percentiles from the counts, and
+:func:`wilson_interval` puts a confidence interval on yield fractions
+— the Wilson score interval, which stays inside [0, 1] and behaves at
+the 0%/100% yields small campaigns actually produce.
+"""
+
+from __future__ import annotations
+
+import math
+from statistics import NormalDist
+
+from repro.errors import ConfigError
+
+_STANDARD_NORMAL = NormalDist()
+
+
+class StreamingStats:
+    """Welford one-pass accumulator: count, mean, std, min, max."""
+
+    __slots__ = ("count", "mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation (0.0 below two samples)."""
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / self.count)
+
+    def as_dict(self, prefix: str = "") -> dict[str, float]:
+        """The accumulated moments as flat row columns."""
+        if not self.count:
+            return {f"{prefix}mean": math.nan, f"{prefix}std": math.nan,
+                    f"{prefix}min": math.nan, f"{prefix}max": math.nan}
+        return {
+            f"{prefix}mean": self.mean,
+            f"{prefix}std": self.std,
+            f"{prefix}min": self.minimum,
+            f"{prefix}max": self.maximum,
+        }
+
+
+class DiscreteDistribution:
+    """Counting distribution over a small set of discrete values.
+
+    Per-die Vccmin takes values on the campaign's Vcc grid, so exact
+    percentiles need only a counter per grid point — never a list of
+    samples.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: dict[float, int] = {}
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self._counts[value] = self._counts.get(value, 0) + 1
+
+    @property
+    def count(self) -> int:
+        return sum(self._counts.values())
+
+    @property
+    def mean(self) -> float:
+        total = self.count
+        if not total:
+            return math.nan
+        return sum(v * n for v, n in self._counts.items()) / total
+
+    @property
+    def std(self) -> float:
+        total = self.count
+        if total < 2:
+            return 0.0 if total else math.nan
+        mean = self.mean
+        return math.sqrt(sum(n * (v - mean) ** 2
+                             for v, n in self._counts.items()) / total)
+
+    def percentile(self, p: float) -> float:
+        """Exact nearest-rank percentile (``p`` in [0, 100])."""
+        if not 0 <= p <= 100:
+            raise ConfigError(f"percentile must be in [0, 100], got {p}")
+        total = self.count
+        if not total:
+            return math.nan
+        rank = max(1, math.ceil(p / 100.0 * total))
+        seen = 0
+        for value in sorted(self._counts):
+            seen += self._counts[value]
+            if seen >= rank:
+                return value
+        return max(self._counts)  # pragma: no cover - defensive
+
+    @property
+    def minimum(self) -> float:
+        return min(self._counts) if self._counts else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return max(self._counts) if self._counts else math.nan
+
+
+def wilson_interval(successes: int, trials: int,
+                    confidence: float = 0.95) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)`` bounds on the true yield given
+    ``successes`` out of ``trials``; ``(0.0, 1.0)`` for an empty
+    campaign.  Unlike the normal approximation it never leaves [0, 1]
+    and stays informative at observed yields of exactly 0 or 1.
+    """
+    if not 0 < confidence < 1:
+        raise ConfigError(
+            f"confidence must be in (0, 1), got {confidence}")
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ConfigError(
+            f"wilson_interval needs 0 <= successes <= trials "
+            f"(got {successes}/{trials})")
+    if trials == 0:
+        return (0.0, 1.0)
+    z = _STANDARD_NORMAL.inv_cdf(0.5 + confidence / 2.0)
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = phat + z * z / (2.0 * trials)
+    spread = z * math.sqrt(phat * (1.0 - phat) / trials
+                           + z * z / (4.0 * trials * trials))
+    low = (centre - spread) / denom
+    high = (centre + spread) / denom
+    return (max(0.0, low), min(1.0, high))

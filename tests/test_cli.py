@@ -75,9 +75,109 @@ class TestRunSpec:
         assert main(["run", "examples/table1.toml", "--dry-run"]) == 0
         assert main(["run", "examples/lowvcc_campaign.toml",
                      "--dry-run"]) == 0
+        assert main(["run", "examples/yield_campaign.toml",
+                     "--dry-run"]) == 0
         out = capsys.readouterr().out
         assert "experiment:  table1" in out
         assert "experiment:  lowvcc-campaign" in out
+        assert "experiment:  yield-campaign" in out
+        assert "montecarlo:" in out
+
+
+class TestMonteCarloCli:
+    @staticmethod
+    def write_mc_spec(tmp_path, dies=4):
+        from repro.experiments import ExperimentSpec
+        from repro.montecarlo import MonteCarloSpec
+
+        path = tmp_path / "mc.toml"
+        ExperimentSpec(name="cli-mc-spec", profiles=(),
+                       vcc_mv=(500.0,),
+                       montecarlo=MonteCarloSpec(dies=dies, seed=1),
+                       artifacts=("yield_curve", "vccmin_dist"),
+                       ).save(path)
+        return path
+
+    def test_mc_renders_yield_and_vccmin(self, capsys):
+        assert main(["mc", "--samples", "4", "--vcc", "500",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Yield vs Vcc" in out
+        assert "Vccmin distribution" in out
+        assert "functional_yield" in out
+
+    def test_mc_export_and_validation(self, tmp_path, capsys):
+        csv_path = tmp_path / "mc.csv"
+        assert main(["mc", "--samples", "3", "--vcc", "500", "450",
+                     "--no-cache", "--export-csv", str(csv_path)]) == 0
+        assert csv_path.read_text().startswith("kind,scheme,vcc_mv")
+        capsys.readouterr()
+        assert main(["mc", "--samples", "0"]) == 2
+        assert "--samples" in capsys.readouterr().err
+        assert main(["mc", "--confidence", "2.0"]) == 2
+        assert "--confidence" in capsys.readouterr().err
+
+    def test_run_samples_override(self, tmp_path, capsys):
+        path = self.write_mc_spec(tmp_path, dies=16)
+        assert main(["run", str(path), "--dry-run", "--samples", "2",
+                     "--confidence", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "montecarlo:  2 dies (seed 1, 0.5 confidence)" in out
+
+    def test_run_samples_without_mc_section_exits_2(self, tmp_path,
+                                                    capsys):
+        from repro.experiments import ExperimentSpec
+
+        path = tmp_path / "plain.toml"
+        ExperimentSpec(name="plain", profiles=("kernel-like",),
+                       trace_length=400, vcc_mv=(500.0,),
+                       artifacts=()).save(path)
+        assert main(["run", str(path), "--samples", "4"]) == 2
+        assert "[montecarlo]" in capsys.readouterr().err
+
+
+class TestCachePruneDryRun:
+    @staticmethod
+    def seeded_cache(tmp_path, monkeypatch, max_bytes):
+        from repro.engine import ResultCache
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", str(max_bytes))
+        cache = ResultCache(root=tmp_path)  # unbounded writer
+        for index in range(4):
+            cache.put(f"key{index}", b"x" * 64)
+        return cache
+
+    def test_dry_run_reports_without_deleting(self, tmp_path,
+                                              monkeypatch, capsys):
+        cache = self.seeded_cache(tmp_path, monkeypatch, max_bytes=150)
+        before = cache.entry_count()
+        assert before == 4
+        assert main(["cache", "--prune", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would evict" in out
+        assert cache.entry_count() == before          # nothing deleted
+        # The reported plan matches what a real prune then deletes.
+        assert main(["cache", "--prune"]) == 0
+        pruned = capsys.readouterr().out
+        assert "evicted" in pruned
+        assert cache.entry_count() < before
+
+    def test_dry_run_reports_stale_versions(self, tmp_path, monkeypatch,
+                                            capsys):
+        self.seeded_cache(tmp_path, monkeypatch, max_bytes=10**6)
+        stale = tmp_path / "v0-0123456789abcdef"
+        stale.mkdir()
+        (stale / "old.pkl").write_bytes(b"stale")
+        assert main(["cache", "--prune", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would prune stale version v0-0123456789abcdef" in out
+        assert stale.exists()                         # untouched
+
+    def test_dry_run_requires_prune(self, capsys):
+        assert main(["cache", "--dry-run"]) == 2
+        assert "--dry-run" in capsys.readouterr().err
+        assert main(["cache", "--prune", "--clear", "--dry-run"]) == 2
 
 
 class TestQueueCommand:
@@ -254,3 +354,24 @@ class TestBackendSelection:
             stop.set()
             worker.join()
         assert "frequency_gain" in capsys.readouterr().out
+
+
+class TestMcArgumentValidation:
+    def test_bad_step_and_vcc_exit_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["mc", "--step", "0"]) == 2
+        assert "--step" in capsys.readouterr().err
+        assert main(["mc", "--step", "-5"]) == 2
+        capsys.readouterr()
+        assert main(["mc", "--vcc", "300"]) == 2
+        assert "modeled" in capsys.readouterr().err
+        assert main(["mc", "--vcc", "800", "500"]) == 2
+
+    def test_duplicate_vcc_levels_deduped(self, capsys):
+        from repro.cli import main
+
+        assert main(["mc", "--samples", "2", "--vcc", "500", "500",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("500    | baseline") == 1

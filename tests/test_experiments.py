@@ -490,3 +490,229 @@ class TestExperimentDriver:
         assert rows[1] == experiment.artifact("fig11b")[0]
         assert SweepSettings(trace_length=400).params \
             == SMALL_SPEC.sweep_settings().params
+
+
+class TestInlineProfiles:
+    """Custom (non-named) trace profiles authored directly in specs."""
+
+    TOML = """
+name = "inline"
+artifacts = []
+
+[population]
+profiles = ["hot-loops", "kernel-like"]
+trace_length = 400
+
+[population.custom.hot-loops]
+description = "tiny tight loops"
+load_weight = 6.5
+mean_block_size = 9
+working_set_kb = 32
+
+[grid]
+vcc_mv = [500.0]
+"""
+
+    def test_custom_profiles_resolve_and_coerce(self):
+        spec = ExperimentSpec.from_toml(self.TOML)
+        custom, builtin = spec.profile_objects()
+        assert custom.name == "hot-loops"
+        assert custom.load_weight == 6.5
+        assert custom.mean_block_size == 9.0          # int -> float
+        assert isinstance(custom.mean_block_size, float)
+        assert custom.working_set_kb == 32            # stays int
+        assert builtin.name == "kernel-like"
+
+    def test_round_trip_preserves_plan_keys(self):
+        spec = ExperimentSpec.from_toml(self.TOML)
+        via_toml = ExperimentSpec.from_toml(spec.to_toml())
+        via_json = ExperimentSpec.from_json(spec.to_json())
+        assert via_toml == spec and via_json == spec
+        reference = Experiment(spec).plan_keys()
+        assert Experiment(via_toml).plan_keys() == reference
+        assert Experiment(via_json).plan_keys() == reference
+
+    def test_campaign_runs_on_the_inline_population(self):
+        spec = ExperimentSpec.from_toml(self.TOML)
+        results = Experiment(spec).run()
+        points = results.filter(kind="sweep-point")
+        assert len(points) == 2                       # 1 vcc x 2 schemes
+        assert all(row["traces"] == 2 for row in points)
+
+    def test_custom_profile_keys_differ_from_builtin(self):
+        """An inline profile is its own cache identity, not an alias."""
+        inline = ExperimentSpec.from_toml(self.TOML)
+        plain = ExperimentSpec(name="inline", profiles=("kernel-like",),
+                               trace_length=400, vcc_mv=(500.0,),
+                               artifacts=())
+        assert set(Experiment(plain).plan_keys()) \
+            != set(Experiment(inline).plan_keys())
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="shadows a built-in"):
+            ExperimentSpec.from_dict({
+                "name": "x", "artifacts": [],
+                "population": {"profiles": ["kernel-like"],
+                               "custom": {"kernel-like": {}}},
+                "grid": {"vcc_mv": [500.0]}})
+        with pytest.raises(ConfigError, match="unknown fields"):
+            ExperimentSpec.from_dict({
+                "name": "x", "artifacts": [],
+                "population": {"profiles": ["p"],
+                               "custom": {"p": {"warp_factor": 2}}},
+                "grid": {"vcc_mv": [500.0]}})
+        with pytest.raises(ConfigError, match="unknown profile"):
+            # Referencing a profile that is neither built-in nor custom.
+            ExperimentSpec.from_toml(self.TOML.replace(
+                '"hot-loops", ', '"hot-loops", "missing", '))
+        from repro.workloads.profiles import TraceProfile
+
+        with pytest.raises(ConfigError, match="duplicate custom"):
+            ExperimentSpec(name="x", profiles=("a",), artifacts=(),
+                           vcc_mv=(500.0,),
+                           custom_profiles=(TraceProfile(name="a"),
+                                            TraceProfile(name="a")))
+        with pytest.raises(ConfigError, match="TraceProfile instances"):
+            ExperimentSpec(name="x", profiles=(), artifacts=(),
+                           vcc_mv=(500.0,), dvfs=(),
+                           custom_profiles=({"name": "a"},),
+                           montecarlo=None)
+
+
+class TestStallsArtifact:
+    SPEC = ExperimentSpec(name="stalls", profiles=("kernel-like",),
+                          trace_length=400, vcc_mv=(575.0,),
+                          stalls_vcc_mv=575.0, artifacts=("stalls",))
+
+    def test_rows_match_the_legacy_decomposition(self):
+        from repro.analysis.sweep import VccSweep
+
+        experiment = Experiment(self.SPEC)
+        experiment.run()
+        rows = experiment.artifact("stalls")
+        sweep = VccSweep(self.SPEC.sweep_settings(),
+                         runner=experiment.runner)
+        assert rows == [sweep.stall_decomposition(575.0)]
+        assert rows[0]["vcc_mv"] == 575.0
+        assert set(rows[0]) >= {"total_drop", "rf_drop", "dl0_drop",
+                                "other_drop"}
+
+    def test_planned_jobs_cover_the_render(self):
+        """run() batches the five ablation points; rendering afterwards
+        simulates nothing new."""
+        experiment = Experiment(self.SPEC)
+        experiment.run()
+        simulated = experiment.stats.simulated
+        experiment.artifact("stalls")
+        assert experiment.stats.simulated == simulated
+
+    def test_stalls_vcc_round_trips(self):
+        spec = ExperimentSpec(name="s", profiles=("kernel-like",),
+                              vcc_mv=(500.0,), stalls_vcc_mv=450.0,
+                              artifacts=("stalls",))
+        assert ExperimentSpec.from_toml(spec.to_toml()) == spec
+        assert "stalls" in spec.to_dict()
+
+    def test_stalls_artifact_needs_population(self):
+        from repro.montecarlo import MonteCarloSpec
+
+        with pytest.raises(ConfigError, match="'stalls'.*no trace"):
+            ExperimentSpec(name="x", profiles=(), vcc_mv=(500.0,),
+                           artifacts=("stalls",),
+                           montecarlo=MonteCarloSpec(dies=1))
+
+    def test_subset_parser_handles_new_sections(self):
+        """The 3.10 fallback TOML parser agrees with tomllib on specs
+        using [population.custom.*], [montecarlo] and [stalls]."""
+        from repro.experiments.specio import loads_toml, parse_toml_subset
+        from repro.montecarlo import MonteCarloSpec
+        from repro.workloads.profiles import TraceProfile
+
+        spec = ExperimentSpec(
+            name="subset", vcc_mv=(500.0,),
+            profiles=("hot", "kernel-like"),
+            custom_profiles=(TraceProfile(name="hot", load_weight=6.5,
+                                          working_set_kb=32),),
+            stalls_vcc_mv=450.0,
+            montecarlo=MonteCarloSpec(dies=4, arrays=("RF", "DL0")),
+            artifacts=("yield_curve",))
+        text = spec.to_toml()
+        assert parse_toml_subset(text) == loads_toml(text)
+        assert ExperimentSpec.from_dict(parse_toml_subset(text)) == spec
+
+    def test_unsafe_custom_profile_names_rejected(self):
+        """Names become TOML table headers; a space or dot must fail
+        the spec eagerly, never corrupt a saved file."""
+        from repro.workloads.profiles import TraceProfile
+
+        for bad in ("my prof", "a.b", "", "quo\"te"):
+            with pytest.raises(ConfigError,
+                               match="custom profile name|needs a name|"
+                                     "no positive|must use"):
+                ExperimentSpec(
+                    name="x", profiles=(bad,) if bad else ("k",),
+                    vcc_mv=(500.0,), artifacts=(),
+                    custom_profiles=(TraceProfile(name=bad),))
+
+    def test_emitter_rejects_unsafe_header_paths(self):
+        """Defence in depth: the emitter itself refuses table-header
+        components that the reader could not parse back."""
+        from repro.experiments.specio import dumps_toml
+
+        with pytest.raises(ConfigError, match="cannot emit TOML key"):
+            dumps_toml({"population": {"custom": {"my prof": {"x": 1}}}})
+
+    def test_unreferenced_custom_profile_rejected(self):
+        from repro.workloads.profiles import TraceProfile
+
+        with pytest.raises(ConfigError, match="never referenced"):
+            ExperimentSpec(name="x", profiles=("kernel-like",),
+                           vcc_mv=(500.0,), artifacts=(),
+                           custom_profiles=(TraceProfile(name="hot"),))
+
+    def test_duplicate_grid_levels_deduped_in_spec(self):
+        spec = ExperimentSpec(name="dup", profiles=("kernel-like",),
+                              vcc_mv=(500.0, 500, 450.0), artifacts=())
+        assert spec.vcc_mv == (500.0, 450.0)
+
+    def test_bad_custom_profile_values_raise_config_errors(self):
+        base = {"name": "x", "artifacts": [],
+                "grid": {"vcc_mv": [500.0]}}
+        with pytest.raises(ConfigError, match="must be an integer"):
+            ExperimentSpec.from_dict({
+                **base,
+                "population": {"profiles": ["p"],
+                               "custom": {"p": {"working_set_kb": 32.5}}}})
+        with pytest.raises(ConfigError, match="bad value"):
+            ExperimentSpec.from_dict({
+                **base,
+                "population": {"profiles": ["p"],
+                               "custom": {"p": {"working_set_kb": "big"}}}})
+
+    def test_duplicate_schemes_deduped_in_spec(self):
+        spec = ExperimentSpec(name="dup-s", profiles=("kernel-like",),
+                              vcc_mv=(500.0,),
+                              schemes=("iraw", "iraw", "baseline"),
+                              artifacts=())
+        assert spec.schemes == ("iraw", "baseline")
+
+    def test_stall_points_appear_in_the_resultset(self):
+        """The five decomposition evaluations must not vanish from the
+        export (same contract as off-grid table1 points)."""
+        spec = ExperimentSpec(name="s-rec", profiles=("kernel-like",),
+                              trace_length=400, vcc_mv=(500.0,),
+                              stalls_vcc_mv=575.0, artifacts=("stalls",))
+        results = Experiment(spec).run()
+        at_575 = results.filter(kind="sweep-point", vcc_mv=575.0)
+        assert len(at_575) == 5
+        variants = {record.variant for record in at_575}
+        assert variants == {"", "stalls:all-off", "stalls:no-rf",
+                            "stalls:no-stable", "stalls:no-iq-guards"}
+        # On-grid stalls vcc: the full IRAW point stays a grid record.
+        on_grid = ExperimentSpec(name="s-on", profiles=("kernel-like",),
+                                 trace_length=400, vcc_mv=(575.0,),
+                                 stalls_vcc_mv=575.0,
+                                 artifacts=("stalls",))
+        rows = Experiment(on_grid).run().filter(kind="sweep-point",
+                                                vcc_mv=575.0)
+        assert len(rows) == 2 + 4   # grid pair + four ablation variants

@@ -27,6 +27,8 @@ from repro.analysis.sweep import SweepSettings, VccSweep
 from repro.analysis.table1 import build_table1
 from repro.engine import ParallelRunner, QueueBackend, ResultCache
 from repro.experiments import Experiment, ExperimentSpec
+from repro.montecarlo import MonteCarloSpec, montecarlo_jobs, \
+    yield_curve_rows
 from repro.workloads.profiles import KERNEL_LIKE, SPECINT_LIKE
 
 pytestmark = pytest.mark.engine
@@ -52,6 +54,13 @@ GOLDEN_SPEC = ExperimentSpec(
 )
 
 
+#: The golden die-sampling campaign: one Vcc point, both schemes, 16
+#: dies — locks the per-die RNG streams, the max-of-N inverse-CDF
+#: sampling and the streaming yield reduction bit-for-bit.
+GOLDEN_MC = MonteCarloSpec(dies=16, seed=0)
+GOLDEN_MC_SCHEMES = ("baseline", "iraw")
+
+
 def compute_artifacts(runner: ParallelRunner | None = None) -> dict:
     """Regenerate both golden artifacts through one sweep/runner."""
     sweep = VccSweep(GOLDEN_SETTINGS, runner=runner)
@@ -59,6 +68,15 @@ def compute_artifacts(runner: ParallelRunner | None = None) -> dict:
         "table1": build_table1(sweep, GOLDEN_VCC),
         "fig11b_500mv": sweep.compare(GOLDEN_VCC),
     }
+
+
+def compute_yield_curve(runner: ParallelRunner | None = None) -> list:
+    """The golden ``yield_curve`` slice at 500 mV."""
+    runner = runner or ParallelRunner()
+    jobs = montecarlo_jobs(GOLDEN_MC, (GOLDEN_VCC,), GOLDEN_MC_SCHEMES)
+    results = runner.run(jobs, label="golden-mc")
+    return yield_curve_rows(results, (GOLDEN_VCC,), GOLDEN_MC_SCHEMES,
+                            GOLDEN_MC.dies, GOLDEN_MC.confidence)
 
 
 def load_golden(name: str):
@@ -222,9 +240,43 @@ class TestGoldenExperiment:
         assert Experiment(via_json).plan_keys() == reference
 
 
+class TestGoldenYieldCurve:
+    """The die-sampling slice must reproduce bit-for-bit everywhere."""
+
+    def test_serial_matches_golden(self):
+        assert_matches_golden(compute_yield_curve(),
+                              load_golden("yield_curve_500mv"),
+                              "yield_curve_500mv")
+
+    def test_pool_matches_golden(self, tmp_path):
+        runner = ParallelRunner(workers=2,
+                                cache=ResultCache(root=tmp_path))
+        assert_matches_golden(compute_yield_curve(runner),
+                              load_golden("yield_curve_500mv"),
+                              "yield_curve_500mv")
+        assert runner.stats.simulated == 2 * GOLDEN_MC.dies
+
+    def test_queue_matches_golden(self, tmp_path):
+        runner = TestGoldenQueue.queue_runner(tmp_path)
+        assert_matches_golden(compute_yield_curve(runner),
+                              load_golden("yield_curve_500mv"),
+                              "yield_curve_500mv")
+        assert runner.stats.requeued == 0
+
+    def test_warm_cache_regeneration_is_free(self, tmp_path):
+        cold = ParallelRunner(cache=ResultCache(root=tmp_path))
+        compute_yield_curve(cold)
+        warm = ParallelRunner(cache=ResultCache(root=tmp_path))
+        assert_matches_golden(compute_yield_curve(warm),
+                              load_golden("yield_curve_500mv"),
+                              "yield_curve_500mv")
+        assert warm.stats.simulated == 0
+
+
 def _regenerate() -> None:  # pragma: no cover - maintenance entry point
     GOLDEN_DIR.mkdir(exist_ok=True)
     artifacts = compute_artifacts()
+    artifacts["yield_curve_500mv"] = compute_yield_curve()
     for name, data in artifacts.items():
         path = GOLDEN_DIR / f"{name}.json"
         path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
