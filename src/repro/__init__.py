@@ -20,6 +20,10 @@ limit at low Vcc — together with every substrate the evaluation needs:
   over the engine, structured ``ResultSet`` records and the named
   artifact registry behind ``python -m repro run``.
 
+The supported, stability-guaranteed surface of all of the above is
+re-exported by :mod:`repro.api` — scripts and downstream tools should
+import from there.
+
 Quickstart::
 
     from repro import quick_comparison
@@ -31,7 +35,7 @@ from repro.core import IrawConfig, VccController
 from repro.pipeline import simulate
 from repro.workloads import SyntheticTraceGenerator, kernel_trace
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ClockScheme",

@@ -9,27 +9,50 @@ and its hardware overhead.
 The implementation lives in :mod:`repro.experiments.artifacts`
 (``table1_jobs`` / ``table1_rows``) — the same rows render through the
 declarative driver (``repro run spec.toml`` with ``table1`` in the
-spec's artifact list) and through these wrappers, bit-identically.
-All four population runs (baseline, IRAW, Faulty Bits, Extra Bypass)
-are declarative engine jobs submitted as **one batch** through the
-sweep's runner, where each splits into per-trace shards.
+spec's artifact list) and through these **deprecated** wrappers,
+bit-identically.  All four population runs (baseline, IRAW, Faulty
+Bits, Extra Bypass) are declarative engine jobs submitted as **one
+batch** through the sweep's runner, where each splits into per-trace
+shards.  The registry builders additionally take a technique subset
+(``ExperimentSpec.table1_techniques``); these wrappers always render
+the full historical table.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.engine.jobs import Job
 from repro.analysis.sweep import VccSweep
 
 
+def _warn_legacy(name: str) -> None:
+    warnings.warn(
+        f"repro.analysis.table1.{name} is deprecated; use "
+        f"repro.experiments.artifacts.{name.replace('build_table1', 'table1_rows')} "
+        f"or the 'table1' artifact of an ExperimentSpec instead",
+        DeprecationWarning, stacklevel=3)
+
+
 def table1_jobs(sweep: VccSweep, vcc_mv: float) -> list[Job]:
-    """The four population evaluations behind Table 1, as engine jobs."""
+    """The four population evaluations behind Table 1, as engine jobs.
+
+    .. deprecated:: 1.2
+       Use :func:`repro.experiments.artifacts.table1_jobs` instead.
+    """
     from repro.experiments.artifacts import table1_jobs
 
+    _warn_legacy("table1_jobs")
     return table1_jobs(sweep, vcc_mv)
 
 
 def build_table1(sweep: VccSweep, vcc_mv: float = 500.0) -> list[dict]:
-    """Evaluate IRAW and both state-of-the-art alternatives at ``vcc_mv``."""
+    """Evaluate IRAW and both state-of-the-art alternatives at ``vcc_mv``.
+
+    .. deprecated:: 1.2
+       Use :func:`repro.experiments.artifacts.table1_rows` instead.
+    """
     from repro.experiments.artifacts import table1_rows
 
+    _warn_legacy("build_table1")
     return table1_rows(sweep, vcc_mv)

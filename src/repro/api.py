@@ -1,0 +1,74 @@
+"""The stable, supported public API of the repro package.
+
+Everything re-exported here is covered by the project's API-stability
+policy (see README "API stability"): names keep their signatures and
+semantics across minor releases, and anything slated for removal goes
+through a full deprecation cycle (a :class:`DeprecationWarning` release
+before the breaking one).  Internal modules — ``repro.engine``'s broker
+and executor internals, the pipeline micro-architecture, the circuit
+calibration plumbing — may change between minor versions; import them
+directly only if you accept that churn.
+
+The supported surface, in one import::
+
+    from repro.api import (
+        ExperimentSpec, Experiment, run_spec, ParallelRunner,
+        MonteCarloSpec, ARTIFACTS, load_spec, save_spec,
+    )
+
+* **Specs** — :class:`ExperimentSpec` (with :class:`MonteCarloSpec` for
+  its ``[montecarlo]`` section) plus :func:`load_spec` / :func:`save_spec`
+  for the TOML/JSON file forms;
+* **Execution** — :class:`Experiment` / :func:`run_spec` drive a spec
+  through a :class:`ParallelRunner` (serial, process-pool or work-queue
+  backed; its :class:`EngineStats` counters and :class:`ResultCache`
+  are part of the surface);
+* **Results** — :class:`ResultSet` and its flat :class:`Record` rows;
+* **Artifacts** — the named-artifact registry: :data:`ARTIFACTS`,
+  :class:`Artifact` and :func:`artifact` lookup.
+"""
+
+from __future__ import annotations
+
+from repro import __version__
+from repro.circuits.frequency import ClockScheme, FrequencySolver
+from repro.engine.cache import ResultCache
+from repro.engine.runner import EngineStats, ParallelRunner
+from repro.errors import ConfigError, ReproError
+from repro.experiments.artifacts import ARTIFACTS, Artifact, artifact
+from repro.experiments.experiment import Experiment, run_spec
+from repro.experiments.resultset import Record, ResultSet
+from repro.experiments.spec import ExperimentSpec
+from repro.montecarlo.spec import MonteCarloSpec
+
+__all__ = [
+    "ARTIFACTS",
+    "Artifact",
+    "ClockScheme",
+    "ConfigError",
+    "EngineStats",
+    "Experiment",
+    "ExperimentSpec",
+    "FrequencySolver",
+    "MonteCarloSpec",
+    "ParallelRunner",
+    "Record",
+    "ReproError",
+    "ResultCache",
+    "ResultSet",
+    "__version__",
+    "artifact",
+    "load_spec",
+    "run_spec",
+    "save_spec",
+]
+
+
+def load_spec(path) -> ExperimentSpec:
+    """Read an :class:`ExperimentSpec` file (format from the suffix)."""
+    return ExperimentSpec.load(path)
+
+
+def save_spec(spec: ExperimentSpec, path) -> None:
+    """Write ``spec`` to ``path`` (format from the suffix)."""
+    spec.save(path)

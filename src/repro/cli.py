@@ -21,10 +21,12 @@ DVFS schedules and a list of named artifacts (``table1``, ``fig11b``,
 (:class:`repro.experiments.Experiment`) compiles it into a single
 engine batch.  ``figures``, ``compare`` and ``mc`` are conveniences
 that build the equivalent spec in memory and run it through the same
-driver; ``mc --samples N`` sweeps N sampled dies across the Vcc grid
-(``yield_curve`` + ``vccmin_dist`` artifacts), and ``run`` accepts the
-same ``--samples``/``--confidence`` overrides for spec files with a
-``[montecarlo]`` section.
+driver; ``mc --dies N`` sweeps N sampled dies across the Vcc grid
+(``yield_curve`` + ``vccmin_dist`` artifacts), ``--block B`` batches
+them into vectorized ``mc-block`` jobs of B dies each, and ``run``
+accepts the same ``--dies``/``--confidence``/``--block`` overrides for
+spec files with a ``[montecarlo]`` section.  ``--samples`` is a
+deprecated alias for ``--dies`` on both subcommands.
 
 The simulation-backed subcommands run their evaluation points through
 the experiment engine: every point is sharded per trace, ``--workers N``
@@ -52,6 +54,7 @@ import argparse
 import dataclasses
 import os
 import sys
+import warnings
 
 import repro
 from repro.analysis.figures import figure1_series, figure11a_series
@@ -69,6 +72,7 @@ from repro.engine import (
 from repro.engine.broker import (
     QUEUE_DIR_ENV,
     SpoolBroker,
+    WorkerSupervisor,
     prune_stale_versions,
     worker_main,
 )
@@ -116,12 +120,17 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the flat ResultSet as JSON")
     run.add_argument("--dry-run", action="store_true",
                      help="print the campaign plan without simulating")
-    run.add_argument("--samples", type=int, default=None, metavar="N",
+    run.add_argument("--dies", type=int, default=None, metavar="N",
                      help="override the spec's montecarlo die count")
+    run.add_argument("--samples", type=int, default=None, metavar="N",
+                     help="deprecated alias for --dies")
     run.add_argument("--confidence", type=float, default=None,
                      metavar="C",
                      help="override the spec's montecarlo confidence "
                           "level for yield intervals")
+    run.add_argument("--block", type=int, default=None, metavar="B",
+                     help="override the spec's montecarlo block size "
+                          "(dies per vectorized mc-block job)")
     add_engine_arguments(run)
 
     figures = sub.add_parser("figures", help="regenerate paper figures")
@@ -149,8 +158,13 @@ def _build_parser() -> argparse.ArgumentParser:
                     "(die, Vcc, scheme) point is an ordinary engine "
                     "job, so workers, backends and the result cache "
                     "apply as usual.")
-    mc.add_argument("--samples", type=int, default=64, metavar="N",
+    mc.add_argument("--dies", type=int, default=None, metavar="N",
                     help="number of sampled dies (default 64)")
+    mc.add_argument("--samples", type=int, default=None, metavar="N",
+                    help="deprecated alias for --dies")
+    mc.add_argument("--block", type=int, default=None, metavar="B",
+                    help="dies per vectorized mc-block job (default: "
+                         "one mc-die job per die)")
     mc.add_argument("--confidence", type=float, default=0.95, metavar="C",
                     help="confidence level for Wilson yield intervals "
                          "(default 0.95)")
@@ -238,6 +252,14 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: serve forever)")
     worker.add_argument("--max-shards", type=int, default=None, metavar="M",
                         help="exit after executing M shards")
+    worker.add_argument("--claim-batch", type=int, default=1, metavar="B",
+                        help="shards claimed per broker round trip "
+                             "(amortizes spool scans; default 1)")
+    worker.add_argument("--supervise", action="store_true",
+                        help="run a supervisor instead of a fixed fleet: "
+                             "size worker processes to the queue depth "
+                             "(up to --concurrency), respawn crashed "
+                             "ones, exit when the spool drains")
     worker.add_argument("--gc", action="store_true",
                         help="garbage-collect stale spool versions and "
                              "exit instead of serving")
@@ -250,19 +272,34 @@ def _print_stats(runner: ParallelRunner) -> None:
           f"{stats.memory_hits} memo hits, {stats.disk_hits} cache hits")
 
 
-def _montecarlo_overrides(spec: ExperimentSpec, samples, confidence):
-    """Apply ``--samples``/``--confidence`` to a loaded spec."""
-    if samples is None and confidence is None:
+def _resolve_dies(dies, samples):
+    """Collapse the canonical ``--dies`` flag and its deprecated
+    ``--samples`` alias to one value (``None`` if neither was given)."""
+    if dies is not None and samples is not None:
+        raise ConfigError("give --dies, not both --dies and its "
+                          "deprecated alias --samples")
+    if samples is not None:
+        warnings.warn("--samples is deprecated; use --dies",
+                      DeprecationWarning, stacklevel=2)
+        return samples
+    return dies
+
+
+def _montecarlo_overrides(spec: ExperimentSpec, dies, confidence, block):
+    """Apply ``--dies``/``--confidence``/``--block`` to a loaded spec."""
+    if dies is None and confidence is None and block is None:
         return spec
     if spec.montecarlo is None:
         raise ConfigError(
-            "--samples/--confidence override a [montecarlo] section, "
-            f"but spec {spec.name!r} has none")
+            "--dies/--samples/--confidence/--block override a "
+            f"[montecarlo] section, but spec {spec.name!r} has none")
     overrides: dict = {}
-    if samples is not None:
-        overrides["dies"] = samples
+    if dies is not None:
+        overrides["dies"] = dies
     if confidence is not None:
         overrides["confidence"] = confidence
+    if block is not None:
+        overrides["block"] = block
     return dataclasses.replace(
         spec, montecarlo=dataclasses.replace(spec.montecarlo, **overrides))
 
@@ -275,7 +312,9 @@ def _cmd_run(args) -> int:
             if name not in seen:
                 seen.append(name)
         spec = dataclasses.replace(spec, artifacts=tuple(seen))
-    spec = _montecarlo_overrides(spec, args.samples, args.confidence)
+    spec = _montecarlo_overrides(spec,
+                                 _resolve_dies(args.dies, args.samples),
+                                 args.confidence, args.block)
     experiment = Experiment(spec, runner=_build_runner(args))
     if args.dry_run:
         jobs = experiment.plan()
@@ -289,9 +328,11 @@ def _cmd_run(args) -> int:
               f"(+{len(spec.ablations)} ablations, "
               f"{len(spec.dvfs)} dvfs schedules)")
         if spec.montecarlo is not None:
+            block = "" if spec.montecarlo.block is None \
+                else f", block {spec.montecarlo.block}"
             print(f"montecarlo:  {spec.montecarlo.dies} dies "
                   f"(seed {spec.montecarlo.seed}, "
-                  f"{spec.montecarlo.confidence:g} confidence)")
+                  f"{spec.montecarlo.confidence:g} confidence{block})")
         print(f"jobs:        {len(jobs)} before dedup/sharding")
         print(f"artifacts:   {', '.join(spec.artifacts) or '(none)'}")
         return 0
@@ -369,8 +410,12 @@ def _cmd_mc(args) -> int:
 
     from repro.circuits.ekv import VCC_MAX_MV, VCC_MIN_MV
 
-    if args.samples < 1:
-        raise ConfigError(f"--samples must be >= 1 (got {args.samples})")
+    flag = "--samples" if args.samples is not None else "--dies"
+    dies = _resolve_dies(args.dies, args.samples)
+    if dies is None:
+        dies = 64
+    if dies < 1:
+        raise ConfigError(f"{flag} must be >= 1 (got {dies})")
     if not 0 < args.confidence < 1:
         raise ConfigError(f"--confidence must be in (0, 1), got "
                           f"{args.confidence:g}")
@@ -389,8 +434,9 @@ def _cmd_mc(args) -> int:
         vcc_mv=tuple(args.vcc) if args.vcc else (),  # spec dedups
         step_mv=None if args.vcc else args.step,
         schemes=tuple(dict.fromkeys(args.schemes)),
-        montecarlo=MonteCarloSpec(dies=args.samples, seed=args.seed,
-                                  confidence=args.confidence),
+        montecarlo=MonteCarloSpec(dies=dies, seed=args.seed,
+                                  confidence=args.confidence,
+                                  block=args.block),
         artifacts=("yield_curve", "vccmin_dist"),
     )
     experiment = Experiment(spec, runner=_build_runner(args))
@@ -528,12 +574,27 @@ def _cmd_worker(args) -> int:
     if args.max_shards is not None and args.max_shards < 0:
         raise ConfigError(f"--max-shards must be >= 0 "
                           f"(got {args.max_shards})")
+    if args.claim_batch < 1:
+        raise ConfigError(f"--claim-batch must be >= 1 "
+                          f"(got {args.claim_batch})")
     broker = SpoolBroker(root)  # validates the spool root eagerly
+    if args.supervise:
+        supervisor = WorkerSupervisor(root,
+                                      max_workers=args.concurrency,
+                                      claim_batch=args.claim_batch,
+                                      worker_poll=args.poll)
+        print(f"worker: supervising spool {broker.spool} "
+              f"(up to {args.concurrency} workers)", file=sys.stderr)
+        supervisor.run()
+        print(f"worker: spool drained; spawned {supervisor.spawned} "
+              f"worker(s), respawned after {supervisor.crashed} crash(es)")
+        return 0
     print(f"worker: serving spool {broker.spool}", file=sys.stderr)
     if args.concurrency == 1:
         completed, failed = worker_main(root, poll_interval=args.poll,
                                         idle_exit=args.idle_exit,
-                                        max_shards=args.max_shards)
+                                        max_shards=args.max_shards,
+                                        claim_batch=args.claim_batch)
         executed = (completed, failed)
     else:
         import multiprocessing
@@ -543,7 +604,8 @@ def _cmd_worker(args) -> int:
             context.Process(target=worker_main, args=(root,),
                             kwargs=dict(poll_interval=args.poll,
                                         idle_exit=args.idle_exit,
-                                        max_shards=args.max_shards),
+                                        max_shards=args.max_shards,
+                                        claim_batch=args.claim_batch),
                             daemon=False)
             for _ in range(args.concurrency)]
         for child in children:
@@ -640,6 +702,10 @@ def _dispatch(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    # Deprecation warnings for CLI spellings must reach the operator:
+    # Python's default filter hides DeprecationWarning outside
+    # __main__, which would make a deprecated flag silently final.
+    warnings.filterwarnings("default", message=r"--samples is deprecated")
     args = _build_parser().parse_args(argv)
     try:
         return _dispatch(args)

@@ -17,7 +17,9 @@ Three implementations ship here:
   exceptions propagate unwrapped, exactly like the legacy inline loops.
 * :class:`PoolBackend` — a ``ProcessPoolExecutor`` fan-out on one
   machine (the former ``ParallelRunner._execute_parallel``); a single
-  pending unit skips pool setup and runs inline.
+  pending unit skips pool setup and runs inline, and large batches of
+  cheap jobs ship as multi-job chunks per worker round trip (the
+  batch-submission surface — see the class docstring).
 * :class:`QueueBackend` — a fault-tolerant distributed backend on the
   filesystem spool broker (:mod:`repro.engine.broker`): shards are
   pickled into ``pending/``, detached ``python -m repro worker``
@@ -45,7 +47,7 @@ from dataclasses import dataclass, field
 from repro.engine.broker import SpoolBroker, CompletedEvent, CorruptEvent, \
     ExpiredEvent, FailedEvent, LostEvent, default_queue_root, \
     run_worker_loop
-from repro.engine.executors import execute_job
+from repro.engine.executors import execute_chunk, execute_job
 from repro.engine.jobs import Job
 from repro.errors import ConfigError
 
@@ -94,18 +96,43 @@ class SerialBackend:
 
 
 class PoolBackend:
-    """``ProcessPoolExecutor`` fan-out across one machine's cores."""
+    """``ProcessPoolExecutor`` fan-out across one machine's cores.
+
+    ``batch`` is the backend's batch-submission surface: chunks of that
+    many jobs ship per worker round trip (``None`` picks a size from
+    the batch shape — 1 for small batches, growing for job-dominated
+    ones), amortizing pickle/submit overhead for cheap vectorized jobs
+    like ``mc-block`` without changing results: chunk members execute
+    independently (:func:`~repro.engine.executors.execute_chunk`) and
+    stream back as individual ``(key, result)`` completions.
+    """
 
     name = "pool"
     wrap_errors = True
 
-    def __init__(self, workers: int = 0):
+    def __init__(self, workers: int = 0, batch: int | None = None):
         if workers == 0 or workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
             raise ConfigError(f"pool backend needs workers >= 1 "
                               f"(got {workers})")
+        if batch is not None and batch < 1:
+            raise ConfigError(f"pool backend needs batch >= 1 "
+                              f"(got {batch})")
         self.workers = int(workers)
+        self.batch = batch
+
+    def _chunk_size(self, pending_count: int) -> int:
+        """Jobs per worker round trip for a batch of ``pending_count``.
+
+        Auto mode keeps ~8 chunks in flight per worker for load balance
+        and caps the chunk at 32 so one slow member cannot starve the
+        completion stream; batches too small to matter stay chunk-free
+        (the legacy one-submit-per-job path).
+        """
+        if self.batch is not None:
+            return self.batch
+        return min(32, max(1, pending_count // (self.workers * 8)))
 
     def execute(self, pending, stats):
         if len(pending) == 1:
@@ -115,6 +142,10 @@ class PoolBackend:
             # raised either way and the runner checks *this* backend's
             # wrap_errors.
             yield from SerialBackend().execute(pending, stats)
+            return
+        chunk = self._chunk_size(len(pending))
+        if chunk > 1:
+            yield from self._execute_chunked(pending, chunk)
             return
         pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=min(self.workers, len(pending)))
@@ -133,6 +164,48 @@ class PoolBackend:
             # Surface the failure immediately: drop queued work and do
             # not block on simulations already in flight (they finish in
             # the background and are reaped at interpreter exit).
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True)
+
+    def _execute_chunked(self, pending, chunk: int):
+        """Submit ``chunk``-sized job lists per future.
+
+        A chunk's completed members are always delivered before any
+        member failure is raised — per-job isolation inside
+        :func:`execute_chunk` means one bad job never discards its
+        siblings' finished simulations.
+        """
+        items = list(pending.items())
+        chunks = [items[index:index + chunk]
+                  for index in range(0, len(items), chunk)]
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.workers, len(chunks)))
+        try:
+            futures = {
+                pool.submit(execute_chunk, [job for _, job in part]): part
+                for part in chunks}
+            for future in concurrent.futures.as_completed(futures):
+                part = futures[future]
+                try:
+                    outcomes = future.result()
+                except Exception as exc:
+                    # The whole chunk died (worker crash / unpicklable
+                    # payload): attribute it to the first member.
+                    key, job = part[0]
+                    raise ShardFailure(key, job, exc,
+                                       where="in a worker process") from exc
+                failure = None
+                for (key, job), (tag, value) in zip(part, outcomes):
+                    if tag == "ok":
+                        yield key, value
+                    elif failure is None:
+                        failure = ShardFailure(key, job, value,
+                                               where="in a worker process")
+                if failure is not None:
+                    raise failure from failure.cause
+        except BaseException:
             pool.shutdown(wait=False, cancel_futures=True)
             raise
         else:
@@ -178,6 +251,10 @@ class QueueBackend:
         single-machine smoke runs of the full wire path.
     poll_interval:
         Collector sleep between polls that made no progress.
+    claim_batch:
+        Shards each local worker thread claims per broker round trip
+        (see :meth:`SpoolBroker.claim_batch`); detached workers choose
+        their own batch size via ``repro worker --claim-batch``.
     """
 
     name = "queue"
@@ -185,15 +262,19 @@ class QueueBackend:
 
     def __init__(self, queue_dir=None, *, lease_timeout: float | None = None,
                  max_retries: int = 3, local_workers: int = 0,
-                 poll_interval: float = 0.05):
+                 poll_interval: float = 0.05, claim_batch: int = 1):
         if queue_dir is None:
             queue_dir = default_queue_root()
         if max_retries < 0:
             raise ConfigError("max_retries must be >= 0")
+        if claim_batch < 1:
+            raise ConfigError(f"claim_batch must be >= 1 "
+                              f"(got {claim_batch})")
         self.broker = SpoolBroker(queue_dir, lease_timeout=lease_timeout)
         self.max_retries = int(max_retries)
         self.local_workers = int(local_workers)
         self.poll_interval = float(poll_interval)
+        self.claim_batch = int(claim_batch)
 
     # -- collection ----------------------------------------------------
 
@@ -299,7 +380,8 @@ class QueueBackend:
             threading.Thread(
                 target=run_worker_loop,
                 kwargs=dict(broker=self.broker, stop=stop,
-                            poll_interval=min(self.poll_interval, 0.05)),
+                            poll_interval=min(self.poll_interval, 0.05),
+                            claim_batch=self.claim_batch),
                 daemon=True, name=f"queue-worker-{i}")
             for i in range(self.local_workers)]
         for thread in workers:

@@ -486,19 +486,61 @@ class SpoolBroker:
                 candidates = sorted(self.pending_dir.glob("*.job"))
             except OSError:
                 return None
+        claims = self._claim_candidates(candidates, worker_id, limit=1)
+        return claims[0] if claims else None
+
+    def claim_batch(self, worker_id: str = "", limit: int = 1) -> list:
+        """Claim up to ``limit`` pending shards with **one** directory
+        scan, returning a list of :class:`Claim` (possibly empty).
+
+        The batch shares one lease inode: the first member's heartbeat
+        file is written normally and every later member's heartbeat path
+        is a hard link to it, so the worker refreshes the whole batch
+        with one ``utime`` per interval and the claim itself amortizes
+        the ``pending/`` scandir over ``limit`` shards — the two
+        per-shard costs that dominate small-shard campaigns on network
+        filesystems.  Collector-side nothing changes: each member still
+        has its own heartbeat *path* whose mtime moves on every beat,
+        and expiring one member unlinks only that member's path.
+        """
+        if limit <= 1:
+            claim = self.claim_next(worker_id)
+            return [claim] if claim is not None else []
+        try:
+            candidates = sorted(self.pending_dir.glob("*.job"))
+        except OSError:
+            return []
+        return self._claim_candidates(candidates, worker_id, limit=limit)
+
+    def _claim_candidates(self, candidates, worker_id: str,
+                          limit: int) -> list:
+        """Rename-claim up to ``limit`` of ``candidates`` (shared by
+        :meth:`claim_next` and :meth:`claim_batch`)."""
+        claims: list[Claim] = []
+        owner = worker_id or worker_identity()
+        anchor = None  # first member's heartbeat: the batch's lease inode
         for path in candidates:
+            if len(claims) >= limit:
+                break
             target = self.claimed_dir / path.name
             try:
                 os.rename(path, target)
             except OSError:
                 continue  # claimed by someone else (or vanished)
             claim_key = path.stem
-            owner = worker_id or worker_identity()
             heartbeat = self.claimed_dir / f"{claim_key}.hb"
-            try:
-                heartbeat.write_text(owner, encoding="utf-8")
-            except OSError:
-                pass
+            linked = False
+            if anchor is not None:
+                try:
+                    os.link(anchor, heartbeat)
+                    linked = True
+                except OSError:
+                    linked = False  # stale file / no hardlinks: fall back
+            if not linked:
+                try:
+                    heartbeat.write_text(owner, encoding="utf-8")
+                except OSError:
+                    pass
             try:
                 with target.open("rb") as handle:
                     job = pickle.load(handle)
@@ -509,9 +551,11 @@ class SpoolBroker:
                 except OSError:
                     pass
                 continue
-            return Claim(key=claim_key, job=job, path=target,
-                         heartbeat_path=heartbeat, owner=owner)
-        return None
+            claims.append(Claim(key=claim_key, job=job, path=target,
+                                heartbeat_path=heartbeat, owner=owner))
+            if anchor is None:
+                anchor = heartbeat
+        return claims
 
     def complete(self, claim: Claim, result) -> None:
         """Publish a claimed shard's result and drop the lease.
@@ -618,6 +662,47 @@ class _HeartbeatPump:
             self.claim.heartbeat()
 
 
+class _BatchHeartbeatPump:
+    """Background thread refreshing a whole claim batch's leases.
+
+    Members are dropped (:meth:`done`) as the worker publishes them, so
+    a long batch never keeps beating for shards that already completed.
+    With hardlinked batch leases every beat is one shared-inode
+    ``utime`` anyway; the per-member loop also covers the fallback path
+    where members got individual heartbeat files.
+    """
+
+    def __init__(self, claims, interval: float):
+        self._claims = list(claims)
+        self._interval = interval
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def done(self, claim: Claim) -> None:
+        """Stop beating for one published member."""
+        with self._lock:
+            self._claims = [c for c in self._claims if c is not claim]
+
+    def __enter__(self) -> "_BatchHeartbeatPump":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="hb-batch")
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            with self._lock:
+                claims = list(self._claims)
+            for claim in claims:
+                claim.heartbeat()
+
+
 def run_worker_loop(broker: SpoolBroker, *,
                     stop: threading.Event | None = None,
                     poll_interval: float = 0.2,
@@ -625,7 +710,8 @@ def run_worker_loop(broker: SpoolBroker, *,
                     max_shards: int | None = None,
                     worker_id: str = "",
                     execute=None,
-                    on_shard=None) -> tuple[int, int]:
+                    on_shard=None,
+                    claim_batch: int = 1) -> tuple[int, int]:
     """Claim-execute-publish loop shared by ``repro worker`` and the
     queue backend's in-process workers.
 
@@ -634,12 +720,16 @@ def run_worker_loop(broker: SpoolBroker, *,
     (``None`` = wait forever).  Returns ``(completed, failed)`` counts —
     failed attempts are published to ``failed/`` (the loop keeps
     serving) and are *not* reported as completed work.
-    ``KeyboardInterrupt``/``SystemExit`` release the in-flight claim
-    back to ``pending/`` and re-raise.
+    ``claim_batch > 1`` claims up to that many shards per broker round
+    trip (:meth:`SpoolBroker.claim_batch`), publishing each member as
+    it finishes.  ``KeyboardInterrupt``/``SystemExit`` release the
+    in-flight claims back to ``pending/`` and re-raise.
     """
     if execute is None:
         from repro.engine.executors import execute_job
         execute = execute_job
+    if claim_batch < 1:
+        raise ConfigError(f"claim_batch must be >= 1 (got {claim_batch})")
     completed = failed = 0
     identity = worker_id or worker_identity()
     idle_since = time.monotonic()
@@ -647,8 +737,11 @@ def run_worker_loop(broker: SpoolBroker, *,
         # Bound checked *before* claiming: --max-shards 0 means zero.
         if max_shards is not None and completed + failed >= max_shards:
             break
-        claim = broker.claim_next(identity)
-        if claim is None:
+        limit = claim_batch
+        if max_shards is not None:
+            limit = min(limit, max_shards - (completed + failed))
+        claims = broker.claim_batch(identity, limit=limit)
+        if not claims:
             if idle_exit is not None \
                     and time.monotonic() - idle_since >= idle_exit:
                 break
@@ -658,30 +751,35 @@ def run_worker_loop(broker: SpoolBroker, *,
             else:
                 time.sleep(poll_interval)
             continue
-        try:
-            with _HeartbeatPump(claim, broker.heartbeat_interval):
-                result = execute(claim.job)
-        except Exception as exc:
-            broker.fail(claim, exc)
-            failed += 1
-        except BaseException:
-            claim.release()
-            raise
-        else:
-            broker.complete(claim, result)
-            completed += 1
-        # Reset *after* the shard: execution time is work, not idleness,
-        # so a long simulation cannot trip --idle-exit on its own.
-        idle_since = time.monotonic()
-        if on_shard is not None:
-            on_shard(claim.key)
+        with _BatchHeartbeatPump(claims, broker.heartbeat_interval) as pump:
+            for index, claim in enumerate(claims):
+                try:
+                    result = execute(claim.job)
+                except Exception as exc:
+                    broker.fail(claim, exc)
+                    failed += 1
+                except BaseException:
+                    for unfinished in claims[index:]:
+                        unfinished.release()
+                    raise
+                else:
+                    broker.complete(claim, result)
+                    completed += 1
+                pump.done(claim)
+                # Reset *after* each shard: execution time is work, not
+                # idleness, so a long simulation cannot trip --idle-exit
+                # on its own.
+                idle_since = time.monotonic()
+                if on_shard is not None:
+                    on_shard(claim.key)
     return completed, failed
 
 
 def worker_main(root, *, lease_timeout: float | None = None,
                 poll_interval: float = 0.2,
                 idle_exit: float | None = None,
-                max_shards: int | None = None) -> tuple[int, int]:
+                max_shards: int | None = None,
+                claim_batch: int = 1) -> tuple[int, int]:
     """Entry point for one worker process (used by ``repro worker``).
 
     Module-level so ``multiprocessing`` can spawn it for
@@ -696,6 +794,156 @@ def worker_main(root, *, lease_timeout: float | None = None,
     broker = SpoolBroker(root, lease_timeout=lease_timeout)
     try:
         return run_worker_loop(broker, poll_interval=poll_interval,
-                               idle_exit=idle_exit, max_shards=max_shards)
+                               idle_exit=idle_exit, max_shards=max_shards,
+                               claim_batch=claim_batch)
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         return 0, 0
+
+
+class WorkerSupervisor:
+    """Sizes a ``repro worker`` fleet to queue depth and heals crashes.
+
+    The supervisor owns a set of worker child processes serving one
+    spool.  Each :meth:`poll_once` pass (a) reaps exited children,
+    charging crashed ones (non-zero exit with work still pending)
+    against a bounded respawn budget, (b) measures the backlog with one
+    ``pending/`` scandir, and (c) spawns workers up to
+    ``ceil(backlog / shards_per_worker)``, clamped to
+    ``[min_workers, max_workers]``.  Children run
+    :func:`worker_main` with ``idle_exit`` set, so an over-provisioned
+    fleet shrinks itself — the supervisor only ever has to grow it.
+
+    ``spawn`` is injectable for tests: any callable returning an object
+    with ``is_alive()``, ``exitcode`` and ``join(timeout)``.
+    """
+
+    def __init__(self, root, *, max_workers: int,
+                 min_workers: int = 0,
+                 shards_per_worker: int = 4,
+                 poll_interval: float = 0.5,
+                 idle_exit: float = 2.0,
+                 max_respawns: int = 8,
+                 claim_batch: int = 1,
+                 worker_poll: float = 0.2,
+                 lease_timeout: float | None = None,
+                 spawn=None):
+        if max_workers < 1:
+            raise ConfigError(f"supervisor needs max_workers >= 1 "
+                              f"(got {max_workers})")
+        if not 0 <= min_workers <= max_workers:
+            raise ConfigError(
+                f"supervisor needs 0 <= min_workers <= max_workers "
+                f"(got {min_workers}/{max_workers})")
+        if shards_per_worker < 1:
+            raise ConfigError(f"supervisor needs shards_per_worker >= 1 "
+                              f"(got {shards_per_worker})")
+        if claim_batch < 1:
+            raise ConfigError(f"claim_batch must be >= 1 "
+                              f"(got {claim_batch})")
+        self.broker = SpoolBroker(root, lease_timeout=lease_timeout)
+        self.max_workers = int(max_workers)
+        self.min_workers = int(min_workers)
+        self.shards_per_worker = int(shards_per_worker)
+        self.poll_interval = float(poll_interval)
+        self.idle_exit = float(idle_exit)
+        self.max_respawns = int(max_respawns)
+        self.claim_batch = int(claim_batch)
+        self.worker_poll = float(worker_poll)
+        self.lease_timeout = lease_timeout
+        self.spawn = spawn or self._spawn_process
+        self.children: list = []
+        self.spawned = 0
+        self.crashed = 0
+        self.respawns = 0
+
+    # -- fleet mechanics -----------------------------------------------
+
+    def _spawn_process(self):
+        """Default spawn: one detached ``worker_main`` child process."""
+        import multiprocessing
+
+        context = multiprocessing.get_context("spawn")
+        process = context.Process(
+            target=worker_main,
+            args=(str(self.broker.root),),
+            kwargs=dict(lease_timeout=self.lease_timeout,
+                        poll_interval=self.worker_poll,
+                        idle_exit=self.idle_exit,
+                        claim_batch=self.claim_batch),
+        )
+        process.start()
+        return process
+
+    def backlog(self) -> int:
+        """Unclaimed shards in the spool (one ``pending/`` scandir)."""
+        try:
+            with os.scandir(self.broker.pending_dir) as entries:
+                return sum(1 for entry in entries
+                           if entry.name.endswith(".job"))
+        except OSError:
+            return 0
+
+    def desired(self, backlog: int) -> int:
+        """Fleet size for ``backlog`` pending shards."""
+        if backlog <= 0:
+            return self.min_workers
+        need = -(-backlog // self.shards_per_worker)  # ceil
+        return max(self.min_workers, min(self.max_workers, need))
+
+    def poll_once(self) -> dict:
+        """One supervision pass; returns fleet counters (for status)."""
+        alive = []
+        crashed_now = 0
+        for child in self.children:
+            if child.is_alive():
+                alive.append(child)
+            elif child.exitcode not in (0, None):
+                crashed_now += 1
+        self.children = alive
+        backlog = self.backlog()
+        if crashed_now:
+            self.crashed += crashed_now
+            if backlog > 0:
+                # A crash with work still pending is respawnable — but
+                # a crash-looping fleet (bad install, poisoned shard
+                # kind) must not burn CPU forever.
+                self.respawns += crashed_now
+                if self.respawns > self.max_respawns:
+                    raise RuntimeError(
+                        f"worker supervisor: {self.crashed} worker "
+                        f"crash(es) with work still pending exceeded "
+                        f"the respawn budget ({self.max_respawns}); "
+                        f"check 'repro queue --status' and the worker "
+                        f"logs")
+        target = self.desired(backlog)
+        while len(self.children) < target:
+            self.children.append(self.spawn())
+            self.spawned += 1
+        return {"backlog": backlog, "alive": len(self.children),
+                "target": target, "spawned": self.spawned,
+                "crashed": self.crashed}
+
+    def run(self, stop: threading.Event | None = None) -> dict:
+        """Supervise until the spool drains and the fleet exits.
+
+        Returns the final counters.  ``stop`` (optional) ends the loop
+        early; children are joined (they exit on their own via
+        ``idle_exit``) either way.
+        """
+        status = {"backlog": 0, "alive": 0, "target": 0,
+                  "spawned": self.spawned, "crashed": self.crashed}
+        try:
+            while stop is None or not stop.is_set():
+                status = self.poll_once()
+                if status["backlog"] == 0 and status["alive"] == 0:
+                    break
+                if stop is not None:
+                    if stop.wait(self.poll_interval):
+                        break
+                else:
+                    time.sleep(self.poll_interval)
+        finally:
+            for child in self.children:
+                child.join(timeout=self.idle_exit
+                           + 4.0 * self.worker_poll + 30.0)
+        return status

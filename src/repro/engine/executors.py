@@ -58,6 +58,15 @@ _TRACES_MAX = 16
 #: same deterministic trace twice, which beats serializing generation.
 _MEMO_LOCK = threading.Lock()
 
+#: Per-process memo of sampled Monte-Carlo die blocks (effective-sigma
+#: arrays), keyed by the hashable ``DieBlock`` recipe.  A campaign
+#: evaluates every block at every (Vcc, scheme) grid point; memoizing
+#: the sampled block makes the (scalar, sha256-seeded) sampling run
+#: once per block instead of once per job.  The bound holds every block
+#: of a 1M-die campaign at the default block size.
+_BLOCK_SAMPLES: OrderedDict = OrderedDict()
+_BLOCK_SAMPLES_MAX = 256
+
 
 def _memoized_build(store: OrderedDict, limit: int, spec):
     """Bounded-LRU memo over deterministic ``spec.build()`` results."""
@@ -255,6 +264,32 @@ def _run_mc_die(job: Job):
                               solver=_solver_for(job))
 
 
+def _run_mc_block(job: Job):
+    """A contiguous Monte-Carlo die block at one (Vcc, scheme) point.
+
+    The block's die range (``die_start``/``dies``) and the campaign's
+    physics config ride in the job options — and therefore in the
+    canonical key — so a block is an independently cacheable, dedupable
+    unit exactly like a single die.  The sampled block itself (die
+    draws are Vcc-independent) is memoized per process and shared
+    across the whole grid.
+    """
+    # Lazy import: repro.montecarlo sits beside the engine in layering.
+    from repro.montecarlo.sampling import DieBlock, evaluate_block
+
+    config = job.option("mc")
+    die_start = job.option("die_start")
+    dies = job.option("dies")
+    if config is None or die_start is None or dies is None:
+        raise ConfigError("mc-block job needs 'mc' config and "
+                          "'die_start'/'dies' options")
+    block = DieBlock(config, int(die_start), int(dies))
+    effective = _memoized_build(_BLOCK_SAMPLES, _BLOCK_SAMPLES_MAX, block)
+    return evaluate_block(config, block.die_start, block.dies,
+                          job.vcc_mv, ClockScheme(job.scheme),
+                          solver=_solver_for(job), effective=effective)
+
+
 def _crash(job: Job):
     """Test-only executor: deterministic failure for error-path tests."""
     raise RuntimeError(f"injected engine crash ({job.option('note', '')})")
@@ -284,6 +319,7 @@ _EXECUTORS = {
     "extra-bypass": _run_extra_bypass,
     "dvfs-schedule": _run_dvfs_schedule,
     "mc-die": _run_mc_die,
+    "mc-block": _run_mc_block,
     "engine-selftest-crash": _crash,
     "engine-selftest-sleep": _sleep,
 }
@@ -296,3 +332,20 @@ def execute_job(job: Job):
     except KeyError:
         raise ConfigError(f"no executor for job kind {job.kind!r}") from None
     return executor(job)
+
+
+def execute_chunk(jobs):
+    """Run a list of jobs in-process, isolating per-job failures.
+
+    The pool backend's batch surface submits whole chunks per worker
+    round-trip; a chunk must not lose its completed results to one bad
+    member, so each outcome is tagged: ``("ok", result)`` or
+    ``("err", exception)``, in submission order.
+    """
+    outcomes = []
+    for job in jobs:
+        try:
+            outcomes.append(("ok", execute_job(job)))
+        except Exception as exc:
+            outcomes.append(("err", exc))
+    return outcomes

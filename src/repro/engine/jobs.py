@@ -50,6 +50,7 @@ KNOWN_KINDS = (
     "extra-bypass",
     "dvfs-schedule",
     "mc-die",
+    "mc-block",
     "engine-selftest-crash",
     "engine-selftest-sleep",
 )
@@ -218,6 +219,11 @@ class Job:
             bits.append(f"trace={self.trace.label}")
         if self.kind == "mc-die":
             bits.append(f"die={self.option('die')}")
+        if self.kind == "mc-block":
+            start = self.option("die_start")
+            dies = self.option("dies")
+            if start is not None and dies is not None:
+                bits.append(f"dies={start}..{start + dies - 1}")
         if self.iraw_overrides:
             bits.append(",".join(f"{k}={v}" for k, v in self.iraw_overrides))
         return " ".join(bits)

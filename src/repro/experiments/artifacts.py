@@ -39,6 +39,7 @@ from repro.circuits.energy import EnergyModel, paper_450mv_example
 from repro.circuits.frequency import ClockScheme
 from repro.engine.jobs import Job
 from repro.errors import ConfigError
+from repro.experiments.spec import TABLE1_TECHNIQUES
 
 #: Vcc of the Section 5.3 joule-accounting example.
 ENERGY_EXAMPLE_VCC = 450.0
@@ -51,39 +52,64 @@ ENERGY_CALIBRATION_VCC = 600.0
 # Row builders (the single implementation behind the legacy wrappers)
 # ----------------------------------------------------------------------
 
-def table1_jobs(sweep: VccSweep, vcc_mv: float) -> list[Job]:
-    """The four population evaluations behind Table 1, as engine jobs."""
+def _table1_selection(techniques) -> tuple[str, ...]:
+    """Normalize a technique subset to the canonical row order."""
+    if techniques is None:
+        return TABLE1_TECHNIQUES
+    chosen = {str(t) for t in techniques}
+    unknown = sorted(chosen - set(TABLE1_TECHNIQUES))
+    if unknown:
+        raise ConfigError(f"unknown table1 technique(s) {unknown}; "
+                          f"known: {', '.join(TABLE1_TECHNIQUES)}")
+    if not chosen:
+        raise ConfigError("table1 techniques must name at least one "
+                          f"of: {', '.join(TABLE1_TECHNIQUES)}")
+    return tuple(t for t in TABLE1_TECHNIQUES if t in chosen)
+
+
+def table1_jobs(sweep: VccSweep, vcc_mv: float,
+                techniques=None) -> list[Job]:
+    """The population evaluations behind Table 1, as engine jobs.
+
+    The baseline point leads regardless of the technique subset (every
+    row's gains are relative to it); each selected technique appends
+    its own evaluation, in canonical order.  ``freq-scaling`` needs no
+    job beyond the baseline itself.
+    """
+    techniques = _table1_selection(techniques)
     options = sweep.point_options()
-    return [
-        sweep.job_for(vcc_mv, ClockScheme.BASELINE),
-        sweep.job_for(vcc_mv, ClockScheme.IRAW),
-        Job(kind="faulty-bits", vcc_mv=vcc_mv, scheme="faulty-bits",
-            population=sweep.population, options=options),
-        Job(kind="extra-bypass", vcc_mv=vcc_mv, scheme="extra-bypass",
+    jobs = [sweep.job_for(vcc_mv, ClockScheme.BASELINE)]
+    if "iraw" in techniques:
+        jobs.append(sweep.job_for(vcc_mv, ClockScheme.IRAW))
+    if "faulty-bits" in techniques:
+        jobs.append(Job(kind="faulty-bits", vcc_mv=vcc_mv,
+                        scheme="faulty-bits",
+                        population=sweep.population, options=options))
+    if "extra-bypass" in techniques:
+        jobs.append(Job(
+            kind="extra-bypass", vcc_mv=vcc_mv, scheme="extra-bypass",
             population=sweep.population,
-            options=options + (("hypothetical_rf_only", True),)),
-    ]
+            options=options + (("hypothetical_rf_only", True),)))
+    return jobs
 
 
-def table1_rows(sweep: VccSweep, vcc_mv: float = 500.0) -> list[dict]:
-    """Evaluate IRAW and both state-of-the-art alternatives at ``vcc_mv``."""
+def table1_rows(sweep: VccSweep, vcc_mv: float = 500.0,
+                techniques=None) -> list[dict]:
+    """Evaluate IRAW and the state-of-the-art alternatives at ``vcc_mv``.
+
+    ``techniques`` selects a subset of :data:`TABLE1_TECHNIQUES`; rows
+    come back in the canonical order whatever the author order, and the
+    full default set is bit-identical to the historical four-row table.
+    """
+    techniques = _table1_selection(techniques)
     solver = sweep.solver
-    baseline, iraw, faulty_result, bypass_result = sweep.runner.run(
-        table1_jobs(sweep, vcc_mv), label=f"table1@{vcc_mv:g}mV")
-
-    freq_scaling = FrequencyScalingBaseline(solver)
-    faulty = FaultyBitsBaseline(solver)
-    bypass = ExtraBypassBaseline(solver)
-
-    # Faulty Bits: honest clock (register-file bound) + degraded caches;
-    # the executor reports the disabled-line fractions via ``extras``.
-    disabled_report = dict(faulty_result.extras)
-    faulty_hypothetical = faulty.operating_point(
-        vcc_mv, hypothetical_all_blocks=True)
-
-    # Extra Bypass: hypothetical RF-only variant at the logic clock with
-    # multi-cycle write-port contention.
-    bypass_point = bypass_result.point
+    results = iter(sweep.runner.run(
+        table1_jobs(sweep, vcc_mv, techniques),
+        label=f"table1@{vcc_mv:g}mV"))
+    baseline = next(results)
+    iraw = next(results) if "iraw" in techniques else None
+    faulty_result = next(results) if "faulty-bits" in techniques else None
+    bypass_result = next(results) if "extra-bypass" in techniques else None
 
     def gain(point) -> float:
         return point.frequency_mhz / baseline.point.frequency_mhz - 1.0
@@ -91,50 +117,62 @@ def table1_rows(sweep: VccSweep, vcc_mv: float = 500.0) -> list[dict]:
     def ipc_impact(result: PointResult) -> float:
         return 1.0 - result.ipc / baseline.ipc if baseline.ipc else 0.0
 
-    iraw_area = AreaModel().report().area_overhead
-    rows = [
-        {
+    # Faulty Bits: honest clock (register-file bound) + degraded caches;
+    # the executor reports the disabled-line fractions via ``extras``.
+    disabled_report = dict(faulty_result.extras) \
+        if faulty_result is not None else {}
+    rows = []
+    if iraw is not None:
+        rows.append({
             "technique": "IRAW avoidance (this paper)",
             "works_all_blocks": True,
             "adapts_multiple_vcc": True,
             "honest_freq_gain": gain(iraw.point),
             "hypothetical_freq_gain": gain(iraw.point),
             "ipc_impact": ipc_impact(iraw),
-            "area_overhead": iraw_area,
+            "area_overhead": AreaModel().report().area_overhead,
             "hard_to_test": False,
-        },
-        {
+        })
+    if faulty_result is not None:
+        faulty = FaultyBitsBaseline(solver)
+        rows.append({
             "technique": "Faulty Bits [1,22,26]",
             "works_all_blocks": False,
             "adapts_multiple_vcc": "costly",
             "honest_freq_gain": gain(faulty_result.point),
-            "hypothetical_freq_gain": gain(faulty_hypothetical),
+            "hypothetical_freq_gain": gain(faulty.operating_point(
+                vcc_mv, hypothetical_all_blocks=True)),
             "ipc_impact": ipc_impact(faulty_result),
             "area_overhead": faulty.area_overhead(),
             "hard_to_test": True,
-        },
-        {
+        })
+    if bypass_result is not None:
+        # Extra Bypass: hypothetical RF-only variant at the logic clock
+        # with multi-cycle write-port contention.
+        bypass = ExtraBypassBaseline(solver)
+        rows.append({
             "technique": "Extra Bypass [3,4,20]",
             "works_all_blocks": False,
             "adapts_multiple_vcc": False,
             "honest_freq_gain": gain(bypass.operating_point(vcc_mv)),
-            "hypothetical_freq_gain": gain(bypass_point),
+            "hypothetical_freq_gain": gain(bypass_result.point),
             "ipc_impact": ipc_impact(bypass_result),
             # Latches sized for the design minimum Vcc, paid everywhere.
             "area_overhead": bypass.area_overhead(),
             "hard_to_test": False,
-        },
-        {
+        })
+    if "freq-scaling" in techniques:
+        rows.append({
             "technique": "frequency scaling (baseline)",
             "works_all_blocks": True,
             "adapts_multiple_vcc": True,
             "honest_freq_gain": 0.0,
             "hypothetical_freq_gain": 0.0,
             "ipc_impact": 0.0,
-            "area_overhead": freq_scaling.area_overhead(),
+            "area_overhead":
+                FrequencyScalingBaseline(solver).area_overhead(),
             "hard_to_test": False,
-        },
-    ]
+        })
     for row in rows:
         row["disabled_lines"] = disabled_report.get("DL0", 0.0) \
             if row["technique"].startswith("Faulty") else 0.0
@@ -314,8 +352,10 @@ ARTIFACTS: dict[str, Artifact] = {
         title="Table 1",
         description="IRAW vs Faulty Bits vs Extra Bypass vs frequency "
                     "scaling, quantified at one Vcc",
-        jobs=lambda e: table1_jobs(e.sweep, e.spec.table1_vcc_mv),
-        build=lambda e: table1_rows(e.sweep, e.spec.table1_vcc_mv),
+        jobs=lambda e: table1_jobs(e.sweep, e.spec.table1_vcc_mv,
+                                   e.spec.table1_techniques),
+        build=lambda e: table1_rows(e.sweep, e.spec.table1_vcc_mv,
+                                    e.spec.table1_techniques),
     ),
     "fig11b": Artifact(
         name="fig11b",

@@ -115,7 +115,9 @@ class Experiment:
         return jobs
 
     def mc_jobs(self) -> list[Job]:
-        """One ``mc-die`` job per (Vcc, scheme, die), in plan order.
+        """The die-sampling batch, in plan order: one ``mc-die`` job per
+        (Vcc, scheme, die), or one vectorized ``mc-block`` job per
+        (Vcc, scheme, die span) when the spec sets a block size.
 
         Empty when the spec has no ``[montecarlo]`` section.  The jobs
         key against the default calibrated solver, matching how sweep
@@ -207,11 +209,18 @@ class Experiment:
                 self.mc_jobs(), label=f"{self.spec.name}:montecarlo")
         return self._mc_resolved
 
+    #: Above this die count the per-die ``mc-die`` records are omitted
+    #: from the ResultSet: a million-die campaign must not export two
+    #: million rows of per-die identity nobody can plot.  The aggregate
+    #: ``mc-yield`` records and both montecarlo artifacts are unaffected.
+    _PER_DIE_RECORD_LIMIT = 4096
+
     def _mc_records(self) -> list[Record]:
         """Aggregate yield rows plus one Vccmin row per (scheme, die).
 
         The reducers stream over the resolved results with O(dies)
-        state.
+        state.  Campaigns beyond :data:`_PER_DIE_RECORD_LIMIT` dies
+        keep only the aggregate records (see the limit's note).
         """
         mc = self.spec.montecarlo
         if mc is None:
@@ -225,12 +234,13 @@ class Experiment:
                             if key not in ("scheme", "vcc_mv")})
             for row in yield_curve_rows(results, grid, schemes, mc.dies,
                                         mc.confidence)]
-        records.extend(
-            Record(kind="mc-die", scheme=row["scheme"], vcc_mv=0.0,
-                   variant=f"die{row['die']}",
-                   metrics={key: value for key, value in row.items()
-                            if key != "scheme"})
-            for row in per_die_rows(results, grid, schemes, mc.dies))
+        if mc.dies <= self._PER_DIE_RECORD_LIMIT:
+            records.extend(
+                Record(kind="mc-die", scheme=row["scheme"], vcc_mv=0.0,
+                       variant=f"die{row['die']}",
+                       metrics={key: value for key, value in row.items()
+                                if key != "scheme"})
+                for row in per_die_rows(results, grid, schemes, mc.dies))
         return records
 
     def _point_record(self, vcc_mv: float, scheme: str,
@@ -248,7 +258,8 @@ class Experiment:
         covered = {(vcc, scheme) for vcc, scheme, variant
                    in self.grid_points() if not variant}
         records = []
-        for job in table1_jobs(self.sweep, self.spec.table1_vcc_mv):
+        for job in table1_jobs(self.sweep, self.spec.table1_vcc_mv,
+                               self.spec.table1_techniques):
             if job.kind == "sweep-point" \
                     and (job.vcc_mv, job.scheme) in covered:
                 continue  # already present as a grid record

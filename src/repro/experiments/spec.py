@@ -51,6 +51,12 @@ KNOWN_ARTIFACTS = ("table1", "fig11b", "fig12", "energy450", "overheads",
 POPULATION_ARTIFACTS = ("table1", "fig11b", "fig12", "energy450", "stalls")
 MONTECARLO_ARTIFACTS = ("yield_curve", "vccmin_dist")
 
+#: The techniques Table 1 can quantify, in the table's row order (kept
+#: here for the same reason as KNOWN_ARTIFACTS; the registry's row
+#: builders import this canonical order).
+TABLE1_TECHNIQUES = ("iraw", "faulty-bits", "extra-bypass",
+                     "freq-scaling")
+
 #: Default Vcc of the paper's Section 5.2 stall decomposition; shared by
 #: the field default and the to_dict omit-if-default rule.
 _STALLS_DEFAULT_VCC_MV = 575.0
@@ -195,6 +201,10 @@ class ExperimentSpec:
     schemes: tuple[str, ...] = (ClockScheme.BASELINE.value,
                                 ClockScheme.IRAW.value)
     table1_vcc_mv: float = 500.0
+    #: Which techniques Table 1 quantifies; rows always render in the
+    #: canonical :data:`TABLE1_TECHNIQUES` order, and the baseline
+    #: reference point is planned regardless of the subset.
+    table1_techniques: tuple[str, ...] = TABLE1_TECHNIQUES
     #: Vcc of the Section 5.2 stall decomposition (``stalls`` artifact).
     stalls_vcc_mv: float = _STALLS_DEFAULT_VCC_MV
     warm: bool = True
@@ -224,6 +234,20 @@ class ExperimentSpec:
                                                for s in self.schemes)))
         object.__setattr__(self, "artifacts",
                            tuple(str(a) for a in self.artifacts))
+        # Author order of the technique subset is presentation only:
+        # Table 1 renders rows in the canonical order regardless.
+        chosen = {str(t) for t in self.table1_techniques}
+        unknown_techniques = sorted(chosen - set(TABLE1_TECHNIQUES))
+        if unknown_techniques:
+            raise ConfigError(
+                f"unknown table1 technique(s) {unknown_techniques}; "
+                f"known: {', '.join(TABLE1_TECHNIQUES)}")
+        if not chosen:
+            raise ConfigError("table1 techniques must name at least one "
+                              f"of: {', '.join(TABLE1_TECHNIQUES)}")
+        object.__setattr__(
+            self, "table1_techniques",
+            tuple(t for t in TABLE1_TECHNIQUES if t in chosen))
         object.__setattr__(self, "ablations", tuple(self.ablations))
         object.__setattr__(self, "dvfs", tuple(self.dvfs))
         object.__setattr__(self, "params", _sorted_overrides(
@@ -361,6 +385,8 @@ class ExperimentSpec:
                       "dram_latency_ns": self.dram_latency_ns},
             "table1": {"vcc_mv": self.table1_vcc_mv},
         }
+        if self.table1_techniques != TABLE1_TECHNIQUES:
+            data["table1"]["techniques"] = list(self.table1_techniques)
         if self.custom_profiles:
             data["population"]["custom"] = {
                 profile.name: _profile_overrides(profile)
@@ -401,8 +427,8 @@ class ExperimentSpec:
                              {"vcc_mv", "step_mv", "schemes"}, "grid")
         sweep = _checked_keys(dict(data.get("sweep", {})),
                               {"warm", "dram_latency_ns"}, "sweep")
-        table1 = _checked_keys(dict(data.get("table1", {})), {"vcc_mv"},
-                               "table1")
+        table1 = _checked_keys(dict(data.get("table1", {})),
+                               {"vcc_mv", "techniques"}, "table1")
         stalls = _checked_keys(dict(data.get("stalls", {})), {"vcc_mv"},
                                "stalls")
         kwargs: dict = {"name": str(data.get("name", "experiment"))}
@@ -432,6 +458,9 @@ class ExperimentSpec:
             kwargs["dram_latency_ns"] = float(sweep["dram_latency_ns"])
         if "vcc_mv" in table1:
             kwargs["table1_vcc_mv"] = float(table1["vcc_mv"])
+        if "techniques" in table1:
+            kwargs["table1_techniques"] = tuple(
+                str(t) for t in table1["techniques"])
         if "vcc_mv" in stalls:
             kwargs["stalls_vcc_mv"] = float(stalls["vcc_mv"])
         if "montecarlo" in data:

@@ -24,6 +24,7 @@ from __future__ import annotations
 from repro.circuits.frequency import FrequencySolver
 from repro.engine.jobs import Job
 from repro.errors import ConfigError
+from repro.montecarlo.sampling import DieBlockResult
 from repro.montecarlo.spec import MonteCarloSpec
 from repro.montecarlo.stats import (
     DiscreteDistribution,
@@ -34,7 +35,13 @@ from repro.montecarlo.stats import (
 
 def montecarlo_jobs(mc: MonteCarloSpec, grid, schemes,
                     solver: FrequencySolver | None = None) -> list[Job]:
-    """One ``mc-die`` job per (Vcc, scheme, die), in plan order.
+    """The campaign's engine jobs, in plan order.
+
+    Without a block size, one ``mc-die`` job per (Vcc, scheme, die);
+    with ``mc.block`` set, one vectorized ``mc-block`` job per
+    (Vcc, scheme, contiguous die span) — spans tile ``range(dies)`` in
+    order, so plan order is die order either way and the reducers
+    consume both shapes identically.
 
     The solver's delay model and nominal frequency ride in the job
     options exactly as sweep points key them, so a recalibration
@@ -52,6 +59,17 @@ def montecarlo_jobs(mc: MonteCarloSpec, grid, schemes,
         ("delay_model", solver.delay_model),
         ("nominal_frequency_mhz", solver.nominal_frequency_mhz),
     )
+    if mc.block is not None:
+        spans = [(start, min(mc.block, mc.dies - start))
+                 for start in range(0, mc.dies, mc.block)]
+        return [
+            Job(kind="mc-block", vcc_mv=vcc, scheme=scheme,
+                options=base_options + (("die_start", start),
+                                        ("dies", count)))
+            for vcc in grid
+            for scheme in schemes
+            for start, count in spans
+        ]
     return [
         Job(kind="mc-die", vcc_mv=vcc, scheme=scheme,
             options=base_options + (("die", die),))
@@ -61,10 +79,17 @@ def montecarlo_jobs(mc: MonteCarloSpec, grid, schemes,
     ]
 
 
+def _result_dies(result) -> int:
+    """How many dies one result item carries (block vs single die)."""
+    return result.dies if isinstance(result, DieBlockResult) else 1
+
+
 def _grouped(results, grid, schemes, dies: int):
     """Yield ``(vcc, scheme, one_group_list)`` in plan order.
 
-    Groups are materialized ``dies`` at a time (tiny), so a partially
+    Items are either per-die results or whole :class:`DieBlockResult`
+    batches; a group is complete once its items cover ``dies`` dies.
+    Groups are materialized one at a time (tiny), so a partially
     consumed group can never shift later (vcc, scheme) labels, and a
     results sequence that does not match the campaign shape fails with
     an explicit error instead of a mid-stream ``StopIteration``.
@@ -72,12 +97,18 @@ def _grouped(results, grid, schemes, dies: int):
     iterator = iter(results)
     for vcc in grid:
         for scheme in schemes:
-            group = [result for _, result
-                     in zip(range(dies), iterator)]
-            if len(group) != dies:
+            group = []
+            covered = 0
+            while covered < dies:
+                item = next(iterator, None)
+                if item is None:
+                    break
+                group.append(item)
+                covered += _result_dies(item)
+            if covered != dies:
                 raise ConfigError(
                     f"montecarlo reduction expected {dies} die results "
-                    f"for ({vcc:g} mV, {scheme}), got {len(group)}")
+                    f"for ({vcc:g} mV, {scheme}), got {covered}")
             yield vcc, scheme, group
     leftover = next(iterator, None)
     if leftover is not None:
@@ -100,10 +131,19 @@ def yield_curve_rows(results, grid, schemes, dies: int,
         frequency = StreamingStats()
         slowdown = StreamingStats()
         for result in group:
-            functional += bool(result.functional)
-            meets += bool(result.meets_design)
-            frequency.add(result.die_frequency_mhz)
-            slowdown.add(result.slowdown)
+            if isinstance(result, DieBlockResult):
+                # Counts are order-free exact sums; the Welford streams
+                # consume the arrays in die order, bit-identical to
+                # per-die add() calls.
+                functional += int(result.functional.sum())
+                meets += int(result.meets_design.sum())
+                frequency.extend(result.die_frequency_mhz.tolist())
+                slowdown.extend(result.slowdown.tolist())
+            else:
+                functional += bool(result.functional)
+                meets += bool(result.meets_design)
+                frequency.add(result.die_frequency_mhz)
+                slowdown.add(result.slowdown)
         f_low, f_high = wilson_interval(functional, dies, confidence)
         d_low, d_high = wilson_interval(meets, dies, confidence)
         rows.append({
@@ -136,12 +176,25 @@ def _fold_vccmin(results, grid, schemes, dies: int):
     sigma: dict[int, float] = {}
     for vcc, scheme, group in _grouped(results, grid, schemes, dies):
         per_die = vccmin[str(scheme)]
-        for die, result in enumerate(group):  # plan order = die order
+        die = 0  # plan order = die order, blocks included
+        for result in group:
+            if isinstance(result, DieBlockResult):
+                values = zip(result.worst_sigma.tolist(),
+                             result.functional.tolist())
+                for worst, functional in values:
+                    sigma[die] = worst
+                    if functional:
+                        best = per_die[die]
+                        if best is None or vcc < best:
+                            per_die[die] = float(vcc)
+                    die += 1
+                continue
             sigma[die] = result.worst_sigma
             if result.functional:
                 best = per_die[die]
                 if best is None or vcc < best:
                     per_die[die] = float(vcc)
+            die += 1
     return vccmin, sigma
 
 

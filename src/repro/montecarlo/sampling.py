@@ -35,7 +35,12 @@ import math
 import random
 from dataclasses import dataclass
 from statistics import NormalDist
+from typing import Iterator
 
+import numpy as np
+
+from repro.circuits import constants
+from repro.circuits.ekv import THERMAL_VOLTAGE_MV, Device, check_voltage, softplus
 from repro.circuits.frequency import ClockScheme, FrequencySolver
 from repro.circuits.sram import silverthorne_arrays
 from repro.circuits.variation import VTH_MV_PER_SIGMA, VariationModel
@@ -243,4 +248,233 @@ def evaluate_die_point(config: MonteCarloConfig, die: int, vcc_mv: float,
         meets_design=meets_design,
         design_stabilization=design_point.stabilization_cycles,
         required_stabilization=required,
+    )
+
+
+# ----------------------------------------------------------------------
+# Vectorized block evaluation (the million-die hot tier)
+# ----------------------------------------------------------------------
+#
+# ``evaluate_block`` is a second, independent implementation of the
+# per-die physics above, folded over a whole contiguous die range as
+# NumPy vectors.  Bit-equality with ``evaluate_die_point`` is a hard
+# contract (the golden suite locks reduced artifacts across both
+# paths), so the kernel only uses float operations that IEEE 754
+# requires to be correctly rounded (+, -, *, /, max, ceil,
+# comparisons) — those are bit-identical elementwise to their scalar
+# counterparts — and keeps the exact evaluation order of the scalar
+# path.  The one transcendental (``softplus``: exp/log1p) goes through
+# the *scalar* libm implementation per element, because ``np.exp`` /
+# ``np.log1p`` may differ from libm in the last ulp.
+
+
+@dataclass(frozen=True)
+class DieBlock:
+    """A contiguous die range of one campaign, sampled as one unit.
+
+    Hashable (config + range) so per-process memoization can reuse one
+    sampled block across every (Vcc, scheme) grid point that evaluates
+    it — sampling runs once per block, not once per job.
+    """
+
+    config: MonteCarloConfig
+    die_start: int
+    dies: int
+
+    def __post_init__(self) -> None:
+        if self.die_start < 0:
+            raise ConfigError(f"die index must be >= 0 "
+                              f"(got {self.die_start})")
+        if self.dies < 1:
+            raise ConfigError(f"a die block needs at least one die "
+                              f"(got {self.dies})")
+
+    def build(self) -> np.ndarray:
+        """Per-die effective worst-cell sigmas, in die order (read-only).
+
+        Each die goes through the exact scalar :func:`sample_die` draw
+        sequence — die RNG, offset gauss, one uniform per array in
+        sorted-name order — the block is purely an evaluation batch,
+        never a different sampling contract.  The invariant per-die
+        setup (the array name/bits table) is hoisted out of the loop;
+        every float operation matches :meth:`DieSample.effective_sigma`
+        bit for bit.
+        """
+        config = self.config
+        bits = config.array_bits()
+        sigma_mv = config.sigma_mv
+        die_sigma_mv = config.die_sigma_mv
+        seed = config.seed
+        effective = np.empty(self.dies, dtype=np.float64)
+        for index in range(self.dies):
+            rng = die_rng(seed, self.die_start + index)
+            offset_mv = rng.gauss(0.0, die_sigma_mv) \
+                if die_sigma_mv > 0 else 0.0
+            worst = max(worst_cell_sigma(rng.random(), total_bits)
+                        for _, total_bits in bits)
+            effective[index] = worst + offset_mv / sigma_mv
+        effective.flags.writeable = False
+        return effective
+
+
+@dataclass(frozen=True, eq=False)
+class DieBlockResult:
+    """A whole die block evaluated at one (Vcc, scheme) grid point.
+
+    Array fields are aligned by position: element ``i`` is die
+    ``die_start + i``.  Arrays are read-only — a block result is a
+    cacheable value, shared between memo, disk cache and reducers.
+    (``eq=False``: ndarray fields make dataclass equality ambiguous.)
+    """
+
+    die_start: int
+    dies: int
+    vcc_mv: float
+    scheme: str
+    design_frequency_mhz: float
+    design_stabilization: int
+    worst_sigma: np.ndarray
+    die_frequency_mhz: np.ndarray
+    slowdown: np.ndarray
+    functional: np.ndarray
+    meets_design: np.ndarray
+    required_stabilization: np.ndarray
+
+    def die_results(self) -> Iterator[DiePointResult]:
+        """The block unpacked as scalar per-die results (test hook)."""
+        for index in range(self.dies):
+            yield DiePointResult(
+                die=self.die_start + index,
+                vcc_mv=self.vcc_mv,
+                scheme=self.scheme,
+                worst_sigma=float(self.worst_sigma[index]),
+                die_frequency_mhz=float(self.die_frequency_mhz[index]),
+                design_frequency_mhz=self.design_frequency_mhz,
+                slowdown=float(self.slowdown[index]),
+                functional=bool(self.functional[index]),
+                meets_design=bool(self.meets_design[index]),
+                design_stabilization=self.design_stabilization,
+                required_stabilization=int(
+                    self.required_stabilization[index]),
+            )
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    """Mark a freshly computed kernel array read-only, in place."""
+    array.flags.writeable = False
+    return array
+
+
+def _device_delay_array(device: Device, shift: np.ndarray,
+                        vcc_mv: float) -> np.ndarray:
+    """Vectorized :meth:`Device.delay` for per-die Vth-shifted devices.
+
+    Mirrors ``Device.current``/``Device.delay`` operation by operation;
+    ``softplus`` runs through the scalar libm path per element (see the
+    section comment above).
+    """
+    vth = device.vth_mv + shift
+    x = (vcc_mv - vth) / (2.0 * device.n * THERMAL_VOLTAGE_MV)
+    s = np.fromiter((softplus(value) for value in x.tolist()),
+                    dtype=np.float64, count=x.size)
+    current = s * s
+    return (device.kd * vcc_mv) / current
+
+
+def _stabilization_cycles_array(write, wordline, slowdown_factor, phase):
+    """Vectorized ``FrequencySolver._stabilization_cycles``.
+
+    ``write`` is the per-die write-delay array; ``phase`` may be a
+    scalar (the design phase) or a per-die array (the IRAW phase).
+    """
+    assisted = phase - wordline
+    remaining = write - assisted
+    stab_time = np.where(remaining <= 0.0, 0.0,
+                         slowdown_factor * remaining)
+    cycles = np.where(stab_time <= 0.0, 0.0,
+                      np.ceil(stab_time / (2.0 * phase)))
+    return cycles.astype(np.int64)
+
+
+def evaluate_block(config: MonteCarloConfig, die_start: int, dies: int,
+                   vcc_mv: float, scheme: ClockScheme,
+                   solver: FrequencySolver | None = None,
+                   effective: np.ndarray | None = None,
+                   ) -> DieBlockResult:
+    """Evaluate a contiguous die block at one grid point, vectorized.
+
+    Bit-equal per die to :func:`evaluate_die_point` (see the section
+    comment).  ``effective`` short-circuits sampling with a
+    pre-built :meth:`DieBlock.build` array so executors can share one
+    sampled block across the whole (Vcc, scheme) grid.
+    """
+    solver = solver or FrequencySolver()
+    if effective is None:
+        effective = DieBlock(config, die_start, dies).build()
+    if effective.shape != (dies,):
+        raise ConfigError(
+            f"effective-sigma array has shape {effective.shape}, "
+            f"expected ({dies},)")
+    check_voltage(vcc_mv)
+    variation = VariationModel(solver.delay_model,
+                               vth_mv_per_sigma=config.sigma_mv)
+    nominal = solver.nominal_frequency_mhz
+    design_point = FrequencySolver(
+        variation.model_at_sigma(config.design_sigma),
+        nominal_frequency_mhz=nominal,
+    ).operating_point(vcc_mv, scheme)
+
+    # Die-independent scalar paths: only the write and flip devices
+    # carry the per-die Vth shift (VariationModel.model_at_sigma), so
+    # logic/wordline/read delays are shared scalars per grid point.
+    model = solver.delay_model
+    logic = model.logic(vcc_mv)
+    wordline = model.wordline(vcc_mv)
+    read_wl = model.read_with_wordline(vcc_mv)
+    gamma = model.stabilization_slowdown
+
+    shift = (effective - variation.baseline_sigma) \
+        * variation.vth_mv_per_sigma
+    write = _device_delay_array(model.write_device, shift, vcc_mv)
+
+    if scheme is ClockScheme.LOGIC:
+        phase = np.full(dies, logic, dtype=np.float64)
+    elif scheme is ClockScheme.BASELINE:
+        phase = np.maximum(np.maximum(logic, write + wordline), read_wl)
+    else:
+        flip = _device_delay_array(model.flip_device, shift, vcc_mv)
+        iraw_phase = np.maximum(np.maximum(logic, wordline + flip),
+                                read_wl)
+        base_phase = np.maximum(np.maximum(logic, write + wordline),
+                                read_wl)
+        if vcc_mv >= constants.IRAW_DEACTIVATION_MV:
+            phase = base_phase
+        else:
+            stab = _stabilization_cycles_array(write, wordline, gamma,
+                                               iraw_phase)
+            phase = np.where(stab == 0, base_phase, iraw_phase)
+
+    phase_time_ns = 1e3 / nominal / 2.0
+    frequency = 1e3 / (2.0 * phase * phase_time_ns)
+    slowdown = phase / design_point.phase_delay
+    required = _stabilization_cycles_array(write, wordline, gamma,
+                                           design_point.phase_delay)
+    meets_design = slowdown <= 1.0 + _PHASE_EPS
+    if scheme is ClockScheme.IRAW:
+        meets_design = meets_design \
+            & (required <= design_point.stabilization_cycles)
+    functional = slowdown <= config.max_slowdown + _PHASE_EPS
+    return DieBlockResult(
+        die_start=die_start,
+        dies=dies,
+        vcc_mv=vcc_mv,
+        scheme=scheme.value,
+        design_frequency_mhz=design_point.frequency_mhz,
+        design_stabilization=design_point.stabilization_cycles,
+        worst_sigma=effective,
+        die_frequency_mhz=_frozen(frequency),
+        slowdown=_frozen(slowdown),
+        functional=_frozen(functional),
+        meets_design=_frozen(meets_design),
+        required_stabilization=_frozen(required),
     )

@@ -32,6 +32,12 @@ class MonteCarloSpec:
     dies: int = 64
     seed: int = 0
     confidence: float = 0.95
+    #: Dies per vectorized ``mc-block`` job; ``None`` keeps the legacy
+    #: one-``mc-die``-job-per-die plan.  The block size partitions the
+    #: die range into job keys, so changing it re-simulates (sampling is
+    #: unaffected: per-die draws depend only on seed and die index, and
+    #: the reduced artifacts are invariant under partitioning).
+    block: int | None = None
     sigma_mv: float = VTH_MV_PER_SIGMA
     design_sigma: float = 6.0
     die_sigma_mv: float = DIE_SIGMA_MV
@@ -47,6 +53,9 @@ class MonteCarloSpec:
         if self.dies < 1:
             raise ConfigError(f"montecarlo needs at least one die "
                               f"(got {self.dies})")
+        if self.block is not None and self.block < 1:
+            raise ConfigError(f"montecarlo block must be >= 1 "
+                              f"(got {self.block})")
         if not 0 < self.confidence < 1:
             raise ConfigError(f"montecarlo confidence must be in (0, 1), "
                               f"got {self.confidence}")
@@ -77,6 +86,8 @@ class MonteCarloSpec:
             "die_sigma_mv": self.die_sigma_mv,
             "max_slowdown": self.max_slowdown,
         }
+        if self.block is not None:
+            data["block"] = self.block
         if self.arrays:
             data["arrays"] = list(self.arrays)
         return data
@@ -85,8 +96,8 @@ class MonteCarloSpec:
     def from_dict(cls, data: dict) -> "MonteCarloSpec":
         data = dict(data)
         unknown = sorted(set(data) - {
-            "dies", "seed", "confidence", "sigma_mv", "design_sigma",
-            "die_sigma_mv", "max_slowdown", "arrays"})
+            "dies", "seed", "confidence", "block", "sigma_mv",
+            "design_sigma", "die_sigma_mv", "max_slowdown", "arrays"})
         if unknown:
             raise ConfigError(f"unknown montecarlo spec keys: {unknown}")
         kwargs: dict = {}
@@ -94,6 +105,8 @@ class MonteCarloSpec:
             kwargs["dies"] = int(data["dies"])
         if "seed" in data:
             kwargs["seed"] = int(data["seed"])
+        if "block" in data and data["block"] is not None:
+            kwargs["block"] = int(data["block"])
         if "confidence" in data:
             kwargs["confidence"] = float(data["confidence"])
         if "sigma_mv" in data:

@@ -44,6 +44,32 @@ class StreamingStats:
         if value > self.maximum:
             self.maximum = value
 
+    def extend(self, values) -> None:
+        """Fold an iterable of values — bit-identical to repeated
+        :meth:`add` in iteration order (the block reducers feed whole
+        per-die arrays through here), just without the per-call
+        attribute traffic."""
+        count = self.count
+        mean = self.mean
+        m2 = self._m2
+        minimum = self.minimum
+        maximum = self.maximum
+        for value in values:
+            value = float(value)
+            count += 1
+            delta = value - mean
+            mean += delta / count
+            m2 += delta * (value - mean)
+            if value < minimum:
+                minimum = value
+            if value > maximum:
+                maximum = value
+        self.count = count
+        self.mean = mean
+        self._m2 = m2
+        self.minimum = minimum
+        self.maximum = maximum
+
     @property
     def std(self) -> float:
         """Population standard deviation (0.0 below two samples)."""

@@ -12,7 +12,7 @@ from repro.isa.opcodes import Opcode
 
 class TestTopLevelApi:
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_exports_resolve(self):
         for name in repro.__all__:
@@ -22,6 +22,85 @@ class TestTopLevelApi:
         row = repro.quick_comparison(vcc_mv=500.0, trace_length=1200)
         assert row["frequency_gain"] == pytest.approx(0.57, abs=0.03)
         assert 0 < row["performance_gain"] < row["frequency_gain"]
+
+
+class TestStableApiFacade:
+    """repro.api is the supported surface — pin it exactly.
+
+    Adding a name here is an API commitment; removing one requires a
+    deprecation cycle (see README "API stability and deprecations").
+    """
+
+    EXPECTED = (
+        "ARTIFACTS",
+        "Artifact",
+        "ClockScheme",
+        "ConfigError",
+        "EngineStats",
+        "Experiment",
+        "ExperimentSpec",
+        "FrequencySolver",
+        "MonteCarloSpec",
+        "ParallelRunner",
+        "Record",
+        "ReproError",
+        "ResultCache",
+        "ResultSet",
+        "__version__",
+        "artifact",
+        "load_spec",
+        "run_spec",
+        "save_spec",
+    )
+
+    def test_all_is_pinned(self):
+        from repro import api
+        assert tuple(api.__all__) == self.EXPECTED
+
+    def test_exports_resolve(self):
+        from repro import api
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_facade_is_the_real_thing(self):
+        from repro import api
+        from repro.experiments.experiment import Experiment
+        from repro.experiments.spec import ExperimentSpec
+        from repro.montecarlo.spec import MonteCarloSpec
+        assert api.Experiment is Experiment
+        assert api.ExperimentSpec is ExperimentSpec
+        assert api.MonteCarloSpec is MonteCarloSpec
+        assert api.__version__ == repro.__version__
+
+    def test_spec_file_roundtrip(self, tmp_path):
+        from repro import api
+        spec = api.ExperimentSpec(
+            name="facade-roundtrip", profiles=(), artifacts=(),
+            vcc_mv=(500.0,),
+            montecarlo=api.MonteCarloSpec(dies=4, block=2))
+        path = tmp_path / "spec.toml"
+        api.save_spec(spec, path)
+        assert api.load_spec(path) == spec
+
+
+class TestDeprecatedWrappers:
+    """Legacy analysis entry points warn but keep working."""
+
+    def test_overhead_report_warns_and_matches_registry(self):
+        from repro.analysis.figures import overhead_report
+        from repro.experiments.artifacts import overhead_rows
+        with pytest.warns(DeprecationWarning, match="overheads"):
+            report = overhead_report()
+        assert report == overhead_rows()[0]
+
+    def test_table1_jobs_warn_and_match_registry(self):
+        from repro.analysis.sweep import SweepSettings, VccSweep
+        from repro.analysis.table1 import table1_jobs as legacy_jobs
+        from repro.experiments.artifacts import table1_jobs
+        sweep = VccSweep(SweepSettings(trace_length=600))
+        with pytest.warns(DeprecationWarning, match="table1"):
+            jobs = legacy_jobs(sweep, 500.0)
+        assert jobs == table1_jobs(sweep, 500.0)
 
 
 class TestFrequencyScalingBaseline:
