@@ -1,0 +1,125 @@
+"""Importance-sampled deep-tail campaign throughput and achieved ESS.
+
+Times one shifted (importance-sampled) campaign through the vectorized
+``mc-block`` path, renders the ``deep_tail`` artifact, and writes a
+``BENCH_is.json`` record — dies/second plus the achieved Kish effective
+sample size and the resolved deep-tail failure probabilities::
+
+    python benchmarks/is_scaling.py --dies 100000 --block 4096 \
+        --budget 300 --min-ess 1000 \
+        --out benchmarks/results/BENCH_is.json
+
+``--budget`` fails the run if the campaign exceeds a wall-clock budget;
+``--min-ess`` fails it if the weights collapse below the floor — the CI
+guards for throughput *and* statistical-quality regressions (a fast
+estimator whose ESS collapsed is noise, not a benchmark win).
+
+Exit status: 0 on success, 1 if the budget is blown or the ESS floor
+is missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.api import (
+    Experiment,
+    ExperimentSpec,
+    ImportanceSpec,
+    MonteCarloSpec,
+    ParallelRunner,
+)
+
+
+def campaign_spec(args) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"is-scaling-{args.dies}",
+        profiles=(),
+        vcc_mv=tuple(args.vcc),
+        schemes=tuple(args.schemes),
+        montecarlo=MonteCarloSpec(
+            dies=args.dies, seed=args.seed, block=args.block,
+            # ess_warn 0 disables the reducer-side warning: this script
+            # *measures* the ESS and enforces --min-ess itself.
+            importance=ImportanceSpec(shift_sigma=args.shift,
+                                      ess_warn=0.0),
+        ),
+        artifacts=("deep_tail",),
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dies", type=int, default=100_000,
+                        help="weighted dies to sample (default 100000)")
+    parser.add_argument("--block", type=int, default=4096,
+                        help="dies per mc-block job (default 4096)")
+    parser.add_argument("--shift", type=float, default=2.0,
+                        help="proposal shift in cell sigmas (default 2.0)")
+    parser.add_argument("--vcc", type=float, nargs="+", default=[565.0],
+                        help="Vcc grid in mV (default: the deep-tail "
+                             "acceptance point, p ~ 3e-8 for IRAW)")
+    parser.add_argument("--schemes", nargs="+", default=["iraw"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--budget", type=float, default=None, metavar="S",
+                        help="fail if the campaign exceeds S seconds")
+    parser.add_argument("--min-ess", type=float, default=1000.0,
+                        metavar="N",
+                        help="fail if any grid point's Kish ESS falls "
+                             "below N (default 1000)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON record here (default stdout)")
+    args = parser.parse_args(argv)
+
+    experiment = Experiment(campaign_spec(args),
+                            runner=ParallelRunner(workers=1))
+    start = time.perf_counter()
+    experiment.run()
+    rows = experiment.artifact("deep_tail")
+    elapsed = time.perf_counter() - start
+
+    ess = min(row["ess"] for row in rows)
+    record = {
+        "dies": args.dies,
+        "block": args.block,
+        "shift_sigma": args.shift,
+        "vcc_mv": args.vcc,
+        "schemes": args.schemes,
+        "seed": args.seed,
+        "elapsed_s": round(elapsed, 3),
+        "dies_per_s": round(args.dies / elapsed, 1),
+        "ess": round(ess, 1),
+        "ess_fraction": round(ess / args.dies, 5),
+        "deep_tail": [
+            {key: row[key]
+             for key in ("vcc_mv", "scheme", "functional_fail",
+                         "functional_fail_low", "functional_fail_high",
+                         "log10_functional_fail", "ess")}
+            for row in rows
+        ],
+        "budget_s": args.budget,
+        "min_ess": args.min_ess,
+    }
+    text = json.dumps(record, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    print(text, end="")
+
+    if args.budget is not None and elapsed > args.budget:
+        print(f"FAIL: campaign took {elapsed:.1f}s "
+              f"(budget {args.budget:g}s)", file=sys.stderr)
+        return 1
+    if ess < args.min_ess:
+        print(f"FAIL: achieved ESS {ess:.1f} is below the "
+              f"{args.min_ess:g} floor — the proposal collapsed",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,8 +17,9 @@ The supported surface, in one import::
     )
 
 * **Specs** — :class:`ExperimentSpec` (with :class:`MonteCarloSpec` for
-  its ``[montecarlo]`` section) plus :func:`load_spec` / :func:`save_spec`
-  for the TOML/JSON file forms;
+  its ``[montecarlo]`` section and :class:`ImportanceSpec` for the
+  deep-tail ``[montecarlo.importance]`` subsection) plus
+  :func:`load_spec` / :func:`save_spec` for the TOML/JSON file forms;
 * **Execution** — :class:`Experiment` / :func:`run_spec` drive a spec
   through a :class:`ParallelRunner` (serial, process-pool or work-queue
   backed; its :class:`EngineStats` counters and :class:`ResultCache`
@@ -39,6 +40,7 @@ from repro.experiments.artifacts import ARTIFACTS, Artifact, artifact
 from repro.experiments.experiment import Experiment, run_spec
 from repro.experiments.resultset import Record, ResultSet
 from repro.experiments.spec import ExperimentSpec
+from repro.montecarlo.importance import ImportanceSpec
 from repro.montecarlo.spec import MonteCarloSpec
 
 __all__ = [
@@ -50,6 +52,7 @@ __all__ = [
     "Experiment",
     "ExperimentSpec",
     "FrequencySolver",
+    "ImportanceSpec",
     "MonteCarloSpec",
     "ParallelRunner",
     "Record",

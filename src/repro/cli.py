@@ -23,10 +23,13 @@ engine batch.  ``figures``, ``compare`` and ``mc`` are conveniences
 that build the equivalent spec in memory and run it through the same
 driver; ``mc --dies N`` sweeps N sampled dies across the Vcc grid
 (``yield_curve`` + ``vccmin_dist`` artifacts), ``--block B`` batches
-them into vectorized ``mc-block`` jobs of B dies each, and ``run``
-accepts the same ``--dies``/``--confidence``/``--block`` overrides for
-spec files with a ``[montecarlo]`` section.  ``--samples`` is a
-deprecated alias for ``--dies`` on both subcommands.
+them into vectorized ``mc-block`` jobs of B dies each,
+``--importance-shift S`` importance-samples the deep tail (adding the
+``deep_tail`` artifact), and ``run`` accepts the same
+``--dies``/``--confidence``/``--block``/``--importance-shift``
+overrides for spec files with a ``[montecarlo]`` section.
+``--samples`` is a deprecated alias for ``--dies`` on both
+subcommands.
 
 The simulation-backed subcommands run their evaluation points through
 the experiment engine: every point is sharded per trace, ``--workers N``
@@ -80,6 +83,7 @@ from repro.errors import ConfigError
 from repro.experiments import KNOWN_ARTIFACTS, Experiment, ExperimentSpec
 from repro.experiments.artifacts import ARTIFACTS
 from repro.memory.hierarchy import MemoryConfig
+from repro.montecarlo.importance import ImportanceSpec
 from repro.pipeline.core import CoreSetup, InOrderCore
 from repro.workloads.kernels import KERNEL_BUILDERS, kernel_trace
 from repro.workloads.profiles import PROFILES_BY_NAME
@@ -131,6 +135,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--block", type=int, default=None, metavar="B",
                      help="override the spec's montecarlo block size "
                           "(dies per vectorized mc-block job)")
+    run.add_argument("--importance-shift", default=None, metavar="S",
+                     help="override the spec's montecarlo importance "
+                          "proposal shift (cell sigmas, or 'auto')")
     add_engine_arguments(run)
 
     figures = sub.add_parser("figures", help="regenerate paper figures")
@@ -180,6 +187,12 @@ def _build_parser() -> argparse.ArgumentParser:
                     default=["baseline", "iraw"],
                     choices=[s.value for s in ClockScheme],
                     help="clock schemes to bin dies under")
+    mc.add_argument("--importance-shift", default=None, metavar="S",
+                    help="importance-sample the deep tail: shift the "
+                         "die-to-die Vth offset S cell sigmas toward "
+                         "failure ('auto' resolves a deep-tail shift "
+                         "from the design margin); adds the deep_tail "
+                         "artifact")
     mc.add_argument("--export-csv", metavar="PATH", default=None,
                     help="write the flat ResultSet as CSV")
     mc.add_argument("--export-json", metavar="PATH", default=None,
@@ -285,14 +298,33 @@ def _resolve_dies(dies, samples):
     return dies
 
 
-def _montecarlo_overrides(spec: ExperimentSpec, dies, confidence, block):
-    """Apply ``--dies``/``--confidence``/``--block`` to a loaded spec."""
-    if dies is None and confidence is None and block is None:
+def _parse_importance_shift(value):
+    """``--importance-shift`` text to an :class:`ImportanceSpec` shift:
+    ``'auto'`` or a float sigma count (``None`` passes through)."""
+    if value is None:
+        return None
+    text = str(value).strip()
+    if text == "auto":
+        return "auto"
+    try:
+        return float(text)
+    except ValueError:
+        raise ConfigError(f"--importance-shift must be a sigma count "
+                          f"or 'auto' (got {value!r})") from None
+
+
+def _montecarlo_overrides(spec: ExperimentSpec, dies, confidence, block,
+                          importance_shift=None):
+    """Apply the montecarlo CLI overrides to a loaded spec."""
+    shift = _parse_importance_shift(importance_shift)
+    if dies is None and confidence is None and block is None \
+            and shift is None:
         return spec
     if spec.montecarlo is None:
         raise ConfigError(
-            "--dies/--samples/--confidence/--block override a "
-            f"[montecarlo] section, but spec {spec.name!r} has none")
+            "--dies/--samples/--confidence/--block/--importance-shift "
+            f"override a [montecarlo] section, but spec {spec.name!r} "
+            f"has none")
     overrides: dict = {}
     if dies is not None:
         overrides["dies"] = dies
@@ -300,6 +332,12 @@ def _montecarlo_overrides(spec: ExperimentSpec, dies, confidence, block):
         overrides["confidence"] = confidence
     if block is not None:
         overrides["block"] = block
+    if shift is not None:
+        current = spec.montecarlo.importance
+        overrides["importance"] = ImportanceSpec(
+            shift_sigma=shift,
+            ess_warn=current.ess_warn if current is not None
+            else ImportanceSpec().ess_warn)
     return dataclasses.replace(
         spec, montecarlo=dataclasses.replace(spec.montecarlo, **overrides))
 
@@ -314,7 +352,8 @@ def _cmd_run(args) -> int:
         spec = dataclasses.replace(spec, artifacts=tuple(seen))
     spec = _montecarlo_overrides(spec,
                                  _resolve_dies(args.dies, args.samples),
-                                 args.confidence, args.block)
+                                 args.confidence, args.block,
+                                 args.importance_shift)
     experiment = Experiment(spec, runner=_build_runner(args))
     if args.dry_run:
         jobs = experiment.plan()
@@ -428,6 +467,12 @@ def _cmd_mc(args) -> int:
     elif args.step <= 0:
         raise ConfigError(f"--step must be positive millivolts "
                           f"(got {args.step:g})")
+    shift = _parse_importance_shift(args.importance_shift)
+    importance = None if shift is None \
+        else ImportanceSpec(shift_sigma=shift)
+    artifacts = ("yield_curve", "vccmin_dist")
+    if importance is not None:
+        artifacts += ("deep_tail",)
     spec = ExperimentSpec(
         name="cli-mc",
         profiles=(),
@@ -436,8 +481,9 @@ def _cmd_mc(args) -> int:
         schemes=tuple(dict.fromkeys(args.schemes)),
         montecarlo=MonteCarloSpec(dies=dies, seed=args.seed,
                                   confidence=args.confidence,
-                                  block=args.block),
-        artifacts=("yield_curve", "vccmin_dist"),
+                                  block=args.block,
+                                  importance=importance),
+        artifacts=artifacts,
     )
     experiment = Experiment(spec, runner=_build_runner(args))
     _render_experiment(experiment, args)

@@ -59,7 +59,8 @@ _TRACES_MAX = 16
 _MEMO_LOCK = threading.Lock()
 
 #: Per-process memo of sampled Monte-Carlo die blocks (effective-sigma
-#: arrays), keyed by the hashable ``DieBlock`` recipe.  A campaign
+#: + IS log-weight arrays), keyed by the hashable ``DieBlock`` recipe.
+#: A campaign
 #: evaluates every block at every (Vcc, scheme) grid point; memoizing
 #: the sampled block makes the (scalar, sha256-seeded) sampling run
 #: once per block instead of once per job.  The bound holds every block
@@ -284,10 +285,10 @@ def _run_mc_block(job: Job):
         raise ConfigError("mc-block job needs 'mc' config and "
                           "'die_start'/'dies' options")
     block = DieBlock(config, int(die_start), int(dies))
-    effective = _memoized_build(_BLOCK_SAMPLES, _BLOCK_SAMPLES_MAX, block)
+    sample = _memoized_build(_BLOCK_SAMPLES, _BLOCK_SAMPLES_MAX, block)
     return evaluate_block(config, block.die_start, block.dies,
                           job.vcc_mv, ClockScheme(job.scheme),
-                          solver=_solver_for(job), effective=effective)
+                          solver=_solver_for(job), sample=sample)
 
 
 def _crash(job: Job):

@@ -270,12 +270,13 @@ def stalls_rows(sweep: VccSweep, vcc_mv: float = 575.0) -> list[dict]:
 def _montecarlo_rows(experiment, reducer):
     """Fold the experiment's resolved die-sample results.
 
-    Shared adapter for the ``yield_curve`` and ``vccmin_dist`` builds:
-    :meth:`Experiment.mc_results` memoizes the resolved batch, so the
-    builds only stream the reduction — no job rebuilding, no
-    re-submission.
+    Shared adapter for the ``yield_curve``, ``vccmin_dist`` and
+    ``deep_tail`` builds: :meth:`Experiment.mc_results` memoizes the
+    resolved batch, so the builds only stream the reduction — no job
+    rebuilding, no re-submission.
     """
     from repro.montecarlo.campaign import vccmin_rows, yield_curve_rows
+    from repro.montecarlo.importance import deep_tail_rows
 
     spec = experiment.spec
     mc = spec.montecarlo
@@ -286,7 +287,10 @@ def _montecarlo_rows(experiment, reducer):
     grid, schemes = spec.grid(), spec.schemes
     if reducer == "yield_curve":
         return yield_curve_rows(results, grid, schemes, mc.dies,
-                                mc.confidence)
+                                mc.confidence, importance=mc.importance)
+    if reducer == "deep_tail":
+        return deep_tail_rows(results, grid, schemes, mc.dies,
+                              mc.importance, mc.confidence)
     return vccmin_rows(results, grid, schemes, mc.dies)
 
 
@@ -416,6 +420,15 @@ ARTIFACTS: dict[str, Artifact] = {
                     "(statistical generalisation of Table 1)",
         jobs=lambda e: e.mc_jobs(),
         build=lambda e: _montecarlo_rows(e, "vccmin_dist"),
+    ),
+    "deep_tail": Artifact(
+        name="deep_tail",
+        title="Deep-tail failure probability",
+        description="importance-sampled log10 failure probability per "
+                    "(Vcc, scheme), with delta-method intervals and "
+                    "ESS diagnostics",
+        jobs=lambda e: e.mc_jobs(),
+        build=lambda e: _montecarlo_rows(e, "deep_tail"),
     ),
 }
 

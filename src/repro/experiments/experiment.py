@@ -233,7 +233,8 @@ class Experiment:
                    metrics={key: value for key, value in row.items()
                             if key not in ("scheme", "vcc_mv")})
             for row in yield_curve_rows(results, grid, schemes, mc.dies,
-                                        mc.confidence)]
+                                        mc.confidence,
+                                        importance=mc.importance)]
         if mc.dies <= self._PER_DIE_RECORD_LIMIT:
             records.extend(
                 Record(kind="mc-die", scheme=row["scheme"], vcc_mv=0.0,

@@ -43,13 +43,15 @@ from repro.workloads.profiles import (
 #: Names the artifact registry must serve (kept here so spec validation
 #: needs no import of the registry; the registry test asserts parity).
 KNOWN_ARTIFACTS = ("table1", "fig11b", "fig12", "energy450", "overheads",
-                   "dvfs", "stalls", "yield_curve", "vccmin_dist")
+                   "dvfs", "stalls", "yield_curve", "vccmin_dist",
+                   "deep_tail")
 
 #: Artifacts that simulate the trace population (need a non-empty
 #: ``profiles`` list) and artifacts that sample dies (need a
-#: ``[montecarlo]`` section).
+#: ``[montecarlo]`` section; ``deep_tail`` additionally needs its
+#: ``[montecarlo.importance]`` subsection).
 POPULATION_ARTIFACTS = ("table1", "fig11b", "fig12", "energy450", "stalls")
-MONTECARLO_ARTIFACTS = ("yield_curve", "vccmin_dist")
+MONTECARLO_ARTIFACTS = ("yield_curve", "vccmin_dist", "deep_tail")
 
 #: The techniques Table 1 can quantify, in the table's row order (kept
 #: here for the same reason as KNOWN_ARTIFACTS; the registry's row
@@ -327,6 +329,12 @@ class ExperimentSpec:
                 raise ConfigError(
                     f"experiment {self.name!r} renders {artifact!r} but "
                     f"has no [montecarlo] section")
+            if artifact == "deep_tail" \
+                    and self.montecarlo is not None \
+                    and self.montecarlo.importance is None:
+                raise ConfigError(
+                    f"experiment {self.name!r} renders 'deep_tail' but "
+                    f"has no [montecarlo.importance] section")
         if "dvfs" in self.artifacts and not self.dvfs:
             raise ConfigError(f"experiment {self.name!r} renders the "
                               f"'dvfs' artifact but defines no schedules")

@@ -32,17 +32,26 @@ from repro.montecarlo.campaign import (
     vccmin_rows,
     yield_curve_rows,
 )
+from repro.montecarlo.importance import (
+    EffectiveSampleSizeWarning,
+    ImportanceSpec,
+    deep_tail_rows,
+)
 from repro.montecarlo.sampling import (
     DiePointResult,
     DieSample,
     MonteCarloConfig,
     evaluate_die_point,
     sample_die,
+    shifted_offset,
 )
 from repro.montecarlo.spec import MonteCarloSpec
 from repro.montecarlo.stats import (
     DiscreteDistribution,
     StreamingStats,
+    WeightedIndicator,
+    WeightedStats,
+    weighted_wilson_interval,
     wilson_interval,
 )
 
@@ -50,14 +59,21 @@ __all__ = [
     "DiePointResult",
     "DieSample",
     "DiscreteDistribution",
+    "EffectiveSampleSizeWarning",
+    "ImportanceSpec",
     "MonteCarloConfig",
     "MonteCarloSpec",
     "StreamingStats",
+    "WeightedIndicator",
+    "WeightedStats",
+    "deep_tail_rows",
     "evaluate_die_point",
     "montecarlo_jobs",
     "per_die_rows",
     "sample_die",
+    "shifted_offset",
     "vccmin_rows",
+    "weighted_wilson_interval",
     "wilson_interval",
     "yield_curve_rows",
 ]

@@ -21,14 +21,20 @@ with streaming accumulators (O(grid x schemes + dies) state):
 
 from __future__ import annotations
 
+import math
+
 from repro.circuits.frequency import FrequencySolver
 from repro.engine.jobs import Job
 from repro.errors import ConfigError
+from repro.montecarlo.importance import warn_low_ess
 from repro.montecarlo.sampling import DieBlockResult
 from repro.montecarlo.spec import MonteCarloSpec
 from repro.montecarlo.stats import (
     DiscreteDistribution,
     StreamingStats,
+    WeightedIndicator,
+    WeightedStats,
+    weighted_wilson_interval,
     wilson_interval,
 )
 
@@ -119,17 +125,31 @@ def _grouped(results, grid, schemes, dies: int):
 
 
 def yield_curve_rows(results, grid, schemes, dies: int,
-                     confidence: float = 0.95) -> list[dict]:
+                     confidence: float = 0.95,
+                     importance=None) -> list[dict]:
     """Functional and frequency yield per (Vcc, scheme), streaming.
 
     ``results`` must be the :func:`montecarlo_jobs` results in plan
-    order (the runner returns them that way).
+    order (the runner returns them that way).  With ``importance`` set
+    (the spec's ``[montecarlo.importance]`` section, duck-typed to its
+    ``ess_warn`` threshold) each row additionally carries the
+    importance-sampled columns: self-normalized weighted yields with
+    Wilson intervals at the Kish effective sample size, the ESS
+    diagnostics, and weighted frequency/slowdown moments.  At shift 0
+    every weight is exactly 1.0 and the weighted columns are
+    bit-identical to their unweighted counterparts.
     """
+    weighted = importance is not None
     rows = []
     for vcc, scheme, group in _grouped(results, grid, schemes, dies):
         functional = meets = 0
         frequency = StreamingStats()
         slowdown = StreamingStats()
+        if weighted:
+            w_functional = WeightedIndicator()
+            w_meets = WeightedIndicator()
+            w_frequency = WeightedStats()
+            w_slowdown = WeightedStats()
         for result in group:
             if isinstance(result, DieBlockResult):
                 # Counts are order-free exact sums; the Welford streams
@@ -139,14 +159,32 @@ def yield_curve_rows(results, grid, schemes, dies: int,
                 meets += int(result.meets_design.sum())
                 frequency.extend(result.die_frequency_mhz.tolist())
                 slowdown.extend(result.slowdown.tolist())
+                if weighted:
+                    values = zip(result.functional.tolist(),
+                                 result.meets_design.tolist(),
+                                 result.die_frequency_mhz.tolist(),
+                                 result.slowdown.tolist(),
+                                 result.log_weight.tolist())
+                    for is_f, is_m, freq, slow, log_weight in values:
+                        weight = math.exp(log_weight)
+                        w_functional.add(is_f, weight)
+                        w_meets.add(is_m, weight)
+                        w_frequency.add(freq, weight)
+                        w_slowdown.add(slow, weight)
             else:
                 functional += bool(result.functional)
                 meets += bool(result.meets_design)
                 frequency.add(result.die_frequency_mhz)
                 slowdown.add(result.slowdown)
+                if weighted:
+                    weight = math.exp(result.log_weight)
+                    w_functional.add(bool(result.functional), weight)
+                    w_meets.add(bool(result.meets_design), weight)
+                    w_frequency.add(result.die_frequency_mhz, weight)
+                    w_slowdown.add(result.slowdown, weight)
         f_low, f_high = wilson_interval(functional, dies, confidence)
         d_low, d_high = wilson_interval(meets, dies, confidence)
-        rows.append({
+        row = {
             "vcc_mv": float(vcc),
             "scheme": str(scheme),
             "dies": dies,
@@ -159,7 +197,27 @@ def yield_curve_rows(results, grid, schemes, dies: int,
             **frequency.as_dict("frequency_mhz_"),
             "slowdown_mean": slowdown.mean,
             "slowdown_max": slowdown.maximum,
-        })
+        }
+        if weighted:
+            ess = w_functional.ess
+            warn_low_ess(ess, dies, importance.ess_warn, vcc, scheme)
+            wf_low, wf_high = weighted_wilson_interval(
+                w_functional.estimate, ess, confidence)
+            wd_low, wd_high = weighted_wilson_interval(
+                w_meets.estimate, ess, confidence)
+            row.update({
+                "weighted_functional_yield": w_functional.estimate,
+                "weighted_functional_low": wf_low,
+                "weighted_functional_high": wf_high,
+                "weighted_frequency_yield": w_meets.estimate,
+                "weighted_frequency_low": wd_low,
+                "weighted_frequency_high": wd_high,
+                "ess": ess,
+                "ess_fraction": ess / dies,
+                "weighted_frequency_mhz_mean": w_frequency.mean,
+                "weighted_slowdown_mean": w_slowdown.mean,
+            })
+        rows.append(row)
     return rows
 
 

@@ -85,6 +85,22 @@ class MonteCarloConfig:
     max_slowdown: float = MAX_SLOWDOWN
     #: Array names to sample (empty = all Silverthorne arrays).
     arrays: tuple[str, ...] = ()
+    #: Importance-sampling proposal shift, in cell sigmas: the
+    #: die-to-die mean Vth offset (the model's Gaussian component,
+    #: shared by every cell of the die) is mean-shifted so the die's
+    #: effective worst-cell sigma moves exactly this far toward the
+    #: failure region, and the die records the exact Gaussian log
+    #: likelihood ratio of the nominal offset distribution against the
+    #: proposal.  Shifting the *per-array max* draw instead would give
+    #: a likelihood ratio with an infinite second moment (the max-of-N
+    #: density has a doubly-exponential left flank where the shifted
+    #: proposal has essentially no mass), so the Gaussian die offset is
+    #: the one component that supports a mean shift with bounded
+    #: weight variance — ``ESS/n = exp(-lambda^2)`` with ``lambda =
+    #: shift_sigma * sigma_mv / die_sigma_mv``.  0.0 (the default) is
+    #: plain Monte-Carlo; the shift changes the sampled population, so
+    #: it is physics and belongs in the job key.
+    shift_sigma: float = 0.0
 
     def __post_init__(self) -> None:
         # Canonical order: sampling iterates arrays sorted by name, so
@@ -101,6 +117,15 @@ class MonteCarloConfig:
             raise ConfigError("montecarlo die_sigma_mv must be >= 0")
         if self.max_slowdown < 1.0:
             raise ConfigError("montecarlo max_slowdown must be >= 1.0")
+        if not (math.isfinite(self.shift_sigma)
+                and self.shift_sigma >= 0.0):
+            raise ConfigError("montecarlo shift_sigma must be a finite "
+                              f"sigma count >= 0 (got {self.shift_sigma})")
+        if self.shift_sigma > 0.0 and self.die_sigma_mv == 0.0:
+            raise ConfigError(
+                "montecarlo shift_sigma > 0 needs die_sigma_mv > 0: the "
+                "importance-sampling proposal mean-shifts the die-to-die "
+                "Vth offset, which a zero-sigma campaign never draws")
         known = {array.name for array in silverthorne_arrays()}
         for name in self.arrays:
             if name not in known:
@@ -120,11 +145,16 @@ class DieSample:
     """The sampled statistical identity of one die."""
 
     die: int
-    #: Die-to-die mean Vth shift, in millivolts (positive = slow die).
+    #: Die-to-die mean Vth shift, in millivolts (positive = slow die;
+    #: the importance-sampling proposal shift, if any, is folded in).
     offset_mv: float
     #: Within-die worst-cell deviation per array, in cell sigmas,
     #: sorted by array name.
     worst_sigma: tuple[tuple[str, float], ...]
+    #: Exact Gaussian log likelihood ratio of the nominal offset
+    #: distribution against the mean-shifted proposal — exactly 0.0
+    #: for an unshifted campaign.
+    log_weight: float = 0.0
 
     def effective_sigma(self, sigma_mv: float) -> float:
         """Worst cell across all arrays, die offset folded in, in
@@ -159,6 +189,9 @@ class DiePointResult:
     design_stabilization: int
     #: Cycles this die's worst cell needs at the design clock.
     required_stabilization: int
+    #: The die's importance-sampling log weight (see
+    #: :attr:`DieSample.log_weight`); 0.0 without a proposal shift.
+    log_weight: float = 0.0
 
 
 def die_rng(seed: int, die: int) -> random.Random:
@@ -183,6 +216,38 @@ def worst_cell_sigma(u: float, total_bits: int) -> float:
     return _STANDARD_NORMAL.inv_cdf(min(p, 1.0 - 1e-16))
 
 
+def shifted_offset(offset_mv: float,
+                   config: MonteCarloConfig) -> tuple[float, float]:
+    """Apply the IS proposal shift to one die's offset draw.
+
+    The proposal draws the die offset from the nominal
+    ``N(0, die_sigma_mv)`` and reports ``offset_mv + shift_sigma *
+    sigma_mv`` — every cell of the die, and hence the die's effective
+    worst-cell sigma, moves exactly ``shift_sigma`` cell sigmas toward
+    the failure region.  The exact log likelihood ratio of the nominal
+    density against the mean-shifted proposal at the reported value is
+    the Gaussian tilt ``-lambda * (z + lambda / 2)`` with ``z =
+    offset_mv / die_sigma_mv`` and ``lambda = shift_sigma * sigma_mv /
+    die_sigma_mv``, so the weights are exactly lognormal and the
+    expected ESS fraction is ``exp(-lambda**2)``.
+
+    ``shift_sigma == 0`` returns the draw untouched with a bit-exact
+    0.0 log weight, so an unshifted campaign is bit-identical to plain
+    Monte-Carlo.
+
+    Returns ``(reported offset_mv, log weight)``; the single shift
+    implementation shared by :func:`sample_die` and
+    :meth:`DieBlock.build`, so the scalar and vectorized paths agree
+    bit for bit on both the samples and the weights.
+    """
+    shift = config.shift_sigma
+    if shift == 0.0:
+        return offset_mv, 0.0
+    lam = shift * config.sigma_mv / config.die_sigma_mv
+    z = offset_mv / config.die_sigma_mv
+    return offset_mv + shift * config.sigma_mv, -lam * (z + lam / 2.0)
+
+
 def sample_die(config: MonteCarloConfig, die: int) -> DieSample:
     """Draw one die's Vth map (deterministic in ``(seed, die)``).
 
@@ -191,13 +256,15 @@ def sample_die(config: MonteCarloConfig, die: int) -> DieSample:
     """
     if die < 0:
         raise ConfigError(f"die index must be >= 0 (got {die})")
+    bits = config.array_bits()
     rng = die_rng(config.seed, die)
     offset_mv = rng.gauss(0.0, config.die_sigma_mv) \
         if config.die_sigma_mv > 0 else 0.0
-    worst = tuple(
-        (name, worst_cell_sigma(rng.random(), bits))
-        for name, bits in config.array_bits())
-    return DieSample(die=die, offset_mv=offset_mv, worst_sigma=worst)
+    offset_mv, log_weight = shifted_offset(offset_mv, config)
+    worst = tuple((name, worst_cell_sigma(rng.random(), total_bits))
+                  for name, total_bits in bits)
+    return DieSample(die=die, offset_mv=offset_mv, worst_sigma=worst,
+                     log_weight=log_weight)
 
 
 def evaluate_die_point(config: MonteCarloConfig, die: int, vcc_mv: float,
@@ -248,6 +315,7 @@ def evaluate_die_point(config: MonteCarloConfig, die: int, vcc_mv: float,
         meets_design=meets_design,
         design_stabilization=design_point.stabilization_cycles,
         required_stabilization=required,
+        log_weight=sample.log_weight,
     )
 
 
@@ -289,16 +357,17 @@ class DieBlock:
             raise ConfigError(f"a die block needs at least one die "
                               f"(got {self.dies})")
 
-    def build(self) -> np.ndarray:
-        """Per-die effective worst-cell sigmas, in die order (read-only).
+    def build(self) -> "BlockSample":
+        """The block's sampled identity, in die order (read-only).
 
         Each die goes through the exact scalar :func:`sample_die` draw
-        sequence — die RNG, offset gauss, one uniform per array in
+        sequence — die RNG, offset gauss (proposal-shifted through the
+        shared :func:`shifted_offset`), one uniform per array in
         sorted-name order — the block is purely an evaluation batch,
         never a different sampling contract.  The invariant per-die
         setup (the array name/bits table) is hoisted out of the loop;
-        every float operation matches :meth:`DieSample.effective_sigma`
-        bit for bit.
+        every float operation, including the IS log weight, matches
+        the scalar path bit for bit.
         """
         config = self.config
         bits = config.array_bits()
@@ -306,15 +375,32 @@ class DieBlock:
         die_sigma_mv = config.die_sigma_mv
         seed = config.seed
         effective = np.empty(self.dies, dtype=np.float64)
+        log_weight = np.empty(self.dies, dtype=np.float64)
         for index in range(self.dies):
             rng = die_rng(seed, self.die_start + index)
             offset_mv = rng.gauss(0.0, die_sigma_mv) \
                 if die_sigma_mv > 0 else 0.0
+            offset_mv, die_log_weight = shifted_offset(offset_mv, config)
             worst = max(worst_cell_sigma(rng.random(), total_bits)
                         for _, total_bits in bits)
             effective[index] = worst + offset_mv / sigma_mv
+            log_weight[index] = die_log_weight
         effective.flags.writeable = False
-        return effective
+        log_weight.flags.writeable = False
+        return BlockSample(effective=effective, log_weight=log_weight)
+
+
+@dataclass(frozen=True, eq=False)
+class BlockSample:
+    """A sampled die block: per-die effective sigmas + IS log weights.
+
+    The value :meth:`DieBlock.build` produces and the per-process block
+    memo shares across the (Vcc, scheme) grid.  Arrays are read-only
+    and aligned by position with the block's die range.
+    """
+
+    effective: np.ndarray
+    log_weight: np.ndarray
 
 
 @dataclass(frozen=True, eq=False)
@@ -339,6 +425,7 @@ class DieBlockResult:
     functional: np.ndarray
     meets_design: np.ndarray
     required_stabilization: np.ndarray
+    log_weight: np.ndarray
 
     def die_results(self) -> Iterator[DiePointResult]:
         """The block unpacked as scalar per-die results (test hook)."""
@@ -356,6 +443,7 @@ class DieBlockResult:
                 design_stabilization=self.design_stabilization,
                 required_stabilization=int(
                     self.required_stabilization[index]),
+                log_weight=float(self.log_weight[index]),
             )
 
 
@@ -399,18 +487,19 @@ def _stabilization_cycles_array(write, wordline, slowdown_factor, phase):
 def evaluate_block(config: MonteCarloConfig, die_start: int, dies: int,
                    vcc_mv: float, scheme: ClockScheme,
                    solver: FrequencySolver | None = None,
-                   effective: np.ndarray | None = None,
+                   sample: BlockSample | None = None,
                    ) -> DieBlockResult:
     """Evaluate a contiguous die block at one grid point, vectorized.
 
     Bit-equal per die to :func:`evaluate_die_point` (see the section
-    comment).  ``effective`` short-circuits sampling with a
-    pre-built :meth:`DieBlock.build` array so executors can share one
-    sampled block across the whole (Vcc, scheme) grid.
+    comment).  ``sample`` short-circuits sampling with a pre-built
+    :meth:`DieBlock.build` value so executors can share one sampled
+    block across the whole (Vcc, scheme) grid.
     """
     solver = solver or FrequencySolver()
-    if effective is None:
-        effective = DieBlock(config, die_start, dies).build()
+    if sample is None:
+        sample = DieBlock(config, die_start, dies).build()
+    effective = sample.effective
     if effective.shape != (dies,):
         raise ConfigError(
             f"effective-sigma array has shape {effective.shape}, "
@@ -477,4 +566,5 @@ def evaluate_block(config: MonteCarloConfig, die_start: int, dies: int,
         functional=_frozen(functional),
         meets_design=_frozen(meets_design),
         required_stabilization=_frozen(required),
+        log_weight=sample.log_weight,
     )

@@ -14,10 +14,11 @@ knobs.  It splits into two identities:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.circuits.variation import VTH_MV_PER_SIGMA
 from repro.errors import ConfigError
+from repro.montecarlo.importance import ImportanceSpec
 from repro.montecarlo.sampling import (
     DIE_SIGMA_MV,
     MAX_SLOWDOWN,
@@ -43,6 +44,10 @@ class MonteCarloSpec:
     die_sigma_mv: float = DIE_SIGMA_MV
     max_slowdown: float = MAX_SLOWDOWN
     arrays: tuple[str, ...] = ()
+    #: Deep-tail importance sampling (``[montecarlo.importance]``).
+    #: The *resolved* proposal shift is physics and folds into
+    #: :meth:`config`; the ESS warning threshold is presentation.
+    importance: ImportanceSpec | None = None
 
     def __post_init__(self) -> None:
         # Same canonical order as MonteCarloConfig: author order of the
@@ -59,13 +64,23 @@ class MonteCarloSpec:
         if not 0 < self.confidence < 1:
             raise ConfigError(f"montecarlo confidence must be in (0, 1), "
                               f"got {self.confidence}")
+        if self.importance is not None \
+                and not isinstance(self.importance, ImportanceSpec):
+            raise ConfigError("montecarlo importance must be an "
+                              "ImportanceSpec")
         # Physics-knob validation lives in MonteCarloConfig; building it
         # eagerly surfaces bad values at spec-load time.
         self.config()
 
     def config(self) -> MonteCarloConfig:
-        """The job-key subset of this campaign (see module docstring)."""
-        return MonteCarloConfig(
+        """The job-key subset of this campaign (see module docstring).
+
+        An ``[montecarlo.importance]`` section folds its *resolved*
+        proposal shift in — the shift changes the sampled population,
+        so it must invalidate cached dies — while the section's
+        ``ess_warn`` diagnostic threshold stays out.
+        """
+        config = MonteCarloConfig(
             seed=self.seed,
             sigma_mv=self.sigma_mv,
             design_sigma=self.design_sigma,
@@ -73,6 +88,10 @@ class MonteCarloSpec:
             max_slowdown=self.max_slowdown,
             arrays=self.arrays,
         )
+        if self.importance is not None:
+            shift = self.importance.resolved_shift(config)
+            config = replace(config, shift_sigma=shift)
+        return config
 
     # -- serialization --------------------------------------------------
 
@@ -90,6 +109,8 @@ class MonteCarloSpec:
             data["block"] = self.block
         if self.arrays:
             data["arrays"] = list(self.arrays)
+        if self.importance is not None:
+            data["importance"] = self.importance.to_dict()
         return data
 
     @classmethod
@@ -97,7 +118,8 @@ class MonteCarloSpec:
         data = dict(data)
         unknown = sorted(set(data) - {
             "dies", "seed", "confidence", "block", "sigma_mv",
-            "design_sigma", "die_sigma_mv", "max_slowdown", "arrays"})
+            "design_sigma", "die_sigma_mv", "max_slowdown", "arrays",
+            "importance"})
         if unknown:
             raise ConfigError(f"unknown montecarlo spec keys: {unknown}")
         kwargs: dict = {}
@@ -119,4 +141,7 @@ class MonteCarloSpec:
             kwargs["max_slowdown"] = float(data["max_slowdown"])
         if "arrays" in data:
             kwargs["arrays"] = tuple(data["arrays"])
+        if "importance" in data and data["importance"] is not None:
+            kwargs["importance"] = ImportanceSpec.from_dict(
+                dict(data["importance"]))
         return cls(**kwargs)

@@ -9,6 +9,14 @@ exact nearest-rank percentiles from the counts, and
 :func:`wilson_interval` puts a confidence interval on yield fractions
 — the Wilson score interval, which stays inside [0, 1] and behaves at
 the 0%/100% yields small campaigns actually produce.
+
+The weighted variants serve the importance-sampled deep-tail
+estimator: :class:`WeightedStats` (weighted Welford moments that
+degenerate bit-identically to :class:`StreamingStats` at unit
+weights), :class:`WeightedIndicator` (self-normalized probability
+estimate with delta-method variance and Kish effective sample size)
+and :func:`weighted_wilson_interval` (the Wilson score at an effective
+sample size).
 """
 
 from __future__ import annotations
@@ -151,6 +159,159 @@ class DiscreteDistribution:
         return max(self._counts) if self._counts else math.nan
 
 
+class WeightedStats:
+    """Weighted Welford accumulator (West's algorithm).
+
+    With every weight exactly 1.0 the update degenerates bit for bit to
+    :class:`StreamingStats` — the operation order is chosen so
+    ``delta * 1.0 / wsum`` and ``delta * 1.0 * (value - mean)`` reduce
+    to the unweighted expressions exactly — which is what lets the
+    importance-sampled reducers reuse one code path and still match the
+    brute-force goldens at shift 0.  Zero-weight observations are
+    skipped entirely (they carry no information and would only risk a
+    0/0 on the first add).
+    """
+
+    __slots__ = ("count", "wsum", "mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.wsum = 0.0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float, weight: float) -> None:
+        value = float(value)
+        weight = float(weight)
+        if not (math.isfinite(weight) and weight >= 0.0):
+            raise ConfigError(f"weights must be finite and >= 0 "
+                              f"(got {weight})")
+        if weight == 0.0:
+            return
+        self.count += 1
+        self.wsum += weight
+        delta = value - self.mean
+        self.mean += delta * weight / self.wsum
+        self._m2 += delta * weight * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def std(self) -> float:
+        """Weight-normalised population standard deviation (0.0 below
+        two counted samples, matching :class:`StreamingStats`)."""
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / self.wsum)
+
+    def as_dict(self, prefix: str = "") -> dict[str, float]:
+        """The accumulated moments as flat row columns."""
+        if not self.count:
+            return {f"{prefix}mean": math.nan, f"{prefix}std": math.nan,
+                    f"{prefix}min": math.nan, f"{prefix}max": math.nan}
+        return {
+            f"{prefix}mean": self.mean,
+            f"{prefix}std": self.std,
+            f"{prefix}min": self.minimum,
+            f"{prefix}max": self.maximum,
+        }
+
+
+class WeightedIndicator:
+    """Self-normalized importance-sampling estimator of an event
+    probability.
+
+    Accumulates ``(hit, weight)`` observations and answers the
+    self-normalized estimate ``sum(w * hit) / sum(w)``, its
+    delta-method variance, the Kish effective sample size
+    ``sum(w)^2 / sum(w^2)``, and a clamped normal confidence interval.
+    With unit weights the estimate is exactly ``hits / count`` and the
+    ESS exactly ``count`` (both ratios of exactly-represented float
+    integers), so shift-0 campaigns reduce identically to the plain
+    counters.
+    """
+
+    __slots__ = ("count", "wsum", "w2sum", "hit_wsum", "hit_w2sum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.wsum = 0.0
+        self.w2sum = 0.0
+        self.hit_wsum = 0.0
+        self.hit_w2sum = 0.0
+
+    def add(self, hit: bool, weight: float) -> None:
+        weight = float(weight)
+        if not (math.isfinite(weight) and weight >= 0.0):
+            raise ConfigError(f"weights must be finite and >= 0 "
+                              f"(got {weight})")
+        self.count += 1
+        self.wsum += weight
+        self.w2sum += weight * weight
+        if hit:
+            self.hit_wsum += weight
+            self.hit_w2sum += weight * weight
+
+    @property
+    def estimate(self) -> float:
+        """The self-normalized probability estimate (NaN when empty)."""
+        if self.wsum == 0.0:
+            return math.nan
+        return self.hit_wsum / self.wsum
+
+    @property
+    def ess(self) -> float:
+        """Kish effective sample size of the accumulated weights."""
+        if self.w2sum == 0.0:
+            return 0.0
+        return self.wsum * self.wsum / self.w2sum
+
+    def variance(self) -> float:
+        """Delta-method variance of the self-normalized estimate:
+        ``sum(w_i^2 * (hit_i - p)^2) / sum(w)^2``."""
+        if self.wsum == 0.0:
+            return math.nan
+        p = self.estimate
+        miss_w2 = self.w2sum - self.hit_w2sum
+        return (self.hit_w2sum * (1.0 - p) * (1.0 - p)
+                + miss_w2 * p * p) / (self.wsum * self.wsum)
+
+    def interval(self, confidence: float = 0.95) -> tuple[float, float]:
+        """Delta-method normal interval, clamped to [0, 1]."""
+        if not 0 < confidence < 1:
+            raise ConfigError(
+                f"confidence must be in (0, 1), got {confidence}")
+        if self.wsum == 0.0:
+            return (0.0, 1.0)
+        z = _STANDARD_NORMAL.inv_cdf(0.5 + confidence / 2.0)
+        half = z * math.sqrt(max(self.variance(), 0.0))
+        p = self.estimate
+        return (max(0.0, p - half), min(1.0, p + half))
+
+
+def _wilson(phat: float, trials: float,
+            confidence: float) -> tuple[float, float]:
+    """The Wilson score core over a float proportion and trial count.
+
+    ``trials`` may be an exact integer count or a (fractional)
+    effective sample size; the integer path is bit-identical to the
+    historical all-int formula because int operands convert to float
+    exactly before every operation involved.
+    """
+    z = _STANDARD_NORMAL.inv_cdf(0.5 + confidence / 2.0)
+    denom = 1.0 + z * z / trials
+    centre = phat + z * z / (2.0 * trials)
+    spread = z * math.sqrt(phat * (1.0 - phat) / trials
+                           + z * z / (4.0 * trials * trials))
+    low = (centre - spread) / denom
+    high = (centre + spread) / denom
+    return (max(0.0, low), min(1.0, high))
+
+
 def wilson_interval(successes: int, trials: int,
                     confidence: float = 0.95) -> tuple[float, float]:
     """Wilson score interval for a binomial proportion.
@@ -169,12 +330,30 @@ def wilson_interval(successes: int, trials: int,
             f"(got {successes}/{trials})")
     if trials == 0:
         return (0.0, 1.0)
-    z = _STANDARD_NORMAL.inv_cdf(0.5 + confidence / 2.0)
-    phat = successes / trials
-    denom = 1.0 + z * z / trials
-    centre = phat + z * z / (2.0 * trials)
-    spread = z * math.sqrt(phat * (1.0 - phat) / trials
-                           + z * z / (4.0 * trials * trials))
-    low = (centre - spread) / denom
-    high = (centre + spread) / denom
-    return (max(0.0, low), min(1.0, high))
+    return _wilson(successes / trials, trials, confidence)
+
+
+def weighted_wilson_interval(phat: float, ess: float,
+                             confidence: float = 0.95,
+                             ) -> tuple[float, float]:
+    """Wilson score interval at an *effective* sample size.
+
+    The importance-sampled analogue of :func:`wilson_interval`: the
+    self-normalized yield estimate ``phat`` is treated as a binomial
+    proportion observed over ``ess`` (Kish) effective trials.  With
+    unit weights ``ess`` equals the integer die count exactly and the
+    bounds are bit-identical to the unweighted interval.
+    """
+    if not 0 < confidence < 1:
+        raise ConfigError(
+            f"confidence must be in (0, 1), got {confidence}")
+    if not (math.isfinite(ess) and ess >= 0.0):
+        raise ConfigError(f"effective sample size must be finite and "
+                          f">= 0 (got {ess})")
+    if ess == 0.0:
+        # No effective mass at all (e.g. every weight underflowed):
+        # the estimate is vacuous, like an empty campaign.
+        return (0.0, 1.0)
+    if math.isnan(phat) or not 0.0 <= phat <= 1.0:
+        raise ConfigError(f"proportion must be in [0, 1] (got {phat})")
+    return _wilson(float(phat), float(ess), confidence)

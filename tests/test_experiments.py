@@ -716,3 +716,33 @@ class TestStallsArtifact:
         rows = Experiment(on_grid).run().filter(kind="sweep-point",
                                                 vcc_mv=575.0)
         assert len(rows) == 2 + 4   # grid pair + four ablation variants
+
+
+class TestPerDieRecordLimit:
+    """The per-die record cutoff: boundary-exact, aggregates untouched."""
+
+    @staticmethod
+    def mc_spec(dies: int) -> ExperimentSpec:
+        from repro.montecarlo import MonteCarloSpec
+
+        return ExperimentSpec(name="limit", profiles=(),
+                              vcc_mv=(500.0,),
+                              montecarlo=MonteCarloSpec(dies=dies),
+                              artifacts=("yield_curve",))
+
+    def test_the_limit_is_part_of_the_export_contract(self):
+        """Consumers size downstream storage around this constant; a
+        silent change is a breaking change to the ResultSet shape."""
+        assert Experiment._PER_DIE_RECORD_LIMIT == 4096
+
+    def test_boundary_is_inclusive(self, monkeypatch):
+        """A campaign of exactly the limit still exports per-die rows;
+        one die more drops them (and only them)."""
+        monkeypatch.setattr(Experiment, "_PER_DIE_RECORD_LIMIT", 6)
+        at_limit = Experiment(self.mc_spec(6)).run()
+        assert len(at_limit.filter(kind="mc-die")) == 2 * 6  # per scheme
+        assert len(at_limit.filter(kind="mc-yield")) == 2
+
+        over_limit = Experiment(self.mc_spec(7)).run()
+        assert len(over_limit.filter(kind="mc-die")) == 0
+        assert len(over_limit.filter(kind="mc-yield")) == 2

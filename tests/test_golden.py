@@ -27,8 +27,8 @@ from repro.analysis.sweep import SweepSettings, VccSweep
 from repro.analysis.table1 import build_table1
 from repro.engine import ParallelRunner, QueueBackend, ResultCache
 from repro.experiments import Experiment, ExperimentSpec
-from repro.montecarlo import MonteCarloSpec, montecarlo_jobs, \
-    yield_curve_rows
+from repro.montecarlo import ImportanceSpec, MonteCarloSpec, \
+    deep_tail_rows, montecarlo_jobs, yield_curve_rows
 from repro.workloads.profiles import KERNEL_LIKE, SPECINT_LIKE
 
 pytestmark = pytest.mark.engine
@@ -60,6 +60,15 @@ GOLDEN_SPEC = ExperimentSpec(
 GOLDEN_MC = MonteCarloSpec(dies=16, seed=0)
 GOLDEN_MC_SCHEMES = ("baseline", "iraw")
 
+#: The golden importance-sampled campaign: 64 dies in two ``mc-block``
+#: jobs per grid point, proposal shifted one cell sigma — locks the
+#: shifted die-offset draws, the exact Gaussian log weights and the
+#: self-normalized deep-tail reduction bit-for-bit.  An explicit float
+#: shift (not ``"auto"``) so the golden cannot move if the auto
+#: heuristic is retuned.
+GOLDEN_DEEP_MC = MonteCarloSpec(dies=64, seed=0, block=32,
+                                importance=ImportanceSpec(shift_sigma=1.0))
+
 
 def compute_artifacts(runner: ParallelRunner | None = None) -> dict:
     """Regenerate both golden artifacts through one sweep/runner."""
@@ -77,6 +86,17 @@ def compute_yield_curve(runner: ParallelRunner | None = None) -> list:
     results = runner.run(jobs, label="golden-mc")
     return yield_curve_rows(results, (GOLDEN_VCC,), GOLDEN_MC_SCHEMES,
                             GOLDEN_MC.dies, GOLDEN_MC.confidence)
+
+
+def compute_deep_tail(runner: ParallelRunner | None = None) -> list:
+    """The golden ``deep_tail`` slice at 500 mV."""
+    runner = runner or ParallelRunner()
+    jobs = montecarlo_jobs(GOLDEN_DEEP_MC, (GOLDEN_VCC,),
+                           GOLDEN_MC_SCHEMES)
+    results = runner.run(jobs, label="golden-deep-tail")
+    return deep_tail_rows(results, (GOLDEN_VCC,), GOLDEN_MC_SCHEMES,
+                          GOLDEN_DEEP_MC.dies, GOLDEN_DEEP_MC.importance,
+                          GOLDEN_DEEP_MC.confidence)
 
 
 def load_golden(name: str):
@@ -273,10 +293,50 @@ class TestGoldenYieldCurve:
         assert warm.stats.simulated == 0
 
 
+class TestGoldenDeepTail:
+    """The importance-sampled slice must reproduce bit-for-bit too.
+
+    Weighted reduction folds ``exp`` of per-die log weights in die
+    order; these tests pin that the weights — not just the samples —
+    survive every backend and the warm cache unchanged.
+    """
+
+    def test_serial_matches_golden(self):
+        assert_matches_golden(compute_deep_tail(),
+                              load_golden("deep_tail_500mv"),
+                              "deep_tail_500mv")
+
+    def test_pool_matches_golden(self, tmp_path):
+        runner = ParallelRunner(workers=2,
+                                cache=ResultCache(root=tmp_path))
+        assert_matches_golden(compute_deep_tail(runner),
+                              load_golden("deep_tail_500mv"),
+                              "deep_tail_500mv")
+        # One vectorized mc-block job per (scheme, die span).
+        assert runner.stats.simulated == len(GOLDEN_MC_SCHEMES) * 2
+
+    def test_queue_matches_golden(self, tmp_path):
+        runner = TestGoldenQueue.queue_runner(tmp_path)
+        assert_matches_golden(compute_deep_tail(runner),
+                              load_golden("deep_tail_500mv"),
+                              "deep_tail_500mv")
+        assert runner.stats.requeued == 0
+
+    def test_warm_cache_regeneration_is_free(self, tmp_path):
+        cold = ParallelRunner(cache=ResultCache(root=tmp_path))
+        compute_deep_tail(cold)
+        warm = ParallelRunner(cache=ResultCache(root=tmp_path))
+        assert_matches_golden(compute_deep_tail(warm),
+                              load_golden("deep_tail_500mv"),
+                              "deep_tail_500mv")
+        assert warm.stats.simulated == 0
+
+
 def _regenerate() -> None:  # pragma: no cover - maintenance entry point
     GOLDEN_DIR.mkdir(exist_ok=True)
     artifacts = compute_artifacts()
     artifacts["yield_curve_500mv"] = compute_yield_curve()
+    artifacts["deep_tail_500mv"] = compute_deep_tail()
     for name, data in artifacts.items():
         path = GOLDEN_DIR / f"{name}.json"
         path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",

@@ -71,7 +71,8 @@ class TestBlockKernel:
         block = DieBlock(config, die_start=5, dies=32).build()
         scalar = [sample_die(config, die).effective_sigma(config.sigma_mv)
                   for die in range(5, 37)]
-        assert block.tolist() == scalar  # exact equality, not approx
+        assert block.effective.tolist() == scalar  # exact, not approx
+        assert block.log_weight.tolist() == [0.0] * 32
 
     def test_block_build_honours_array_subset_and_zero_offset(self):
         config = MonteCarloConfig(seed=1, arrays=("RF", "DL0"),
@@ -79,7 +80,7 @@ class TestBlockKernel:
         block = DieBlock(config, die_start=0, dies=16).build()
         scalar = [sample_die(config, die).effective_sigma(config.sigma_mv)
                   for die in range(16)]
-        assert block.tolist() == scalar
+        assert block.effective.tolist() == scalar
 
     @pytest.mark.parametrize("scheme", list(ClockScheme))
     def test_block_evaluation_is_bit_equal_per_die(self, scheme):
@@ -97,7 +98,9 @@ class TestBlockKernel:
         config = MonteCarloConfig(seed=0)
         sampled = DieBlock(config, 0, 4).build()
         with pytest.raises(ValueError):
-            sampled[0] = 0.0
+            sampled.effective[0] = 0.0
+        with pytest.raises(ValueError):
+            sampled.log_weight[0] = 0.0
         result = evaluate_block(config, 0, 4, 500.0, ClockScheme.IRAW)
         with pytest.raises(ValueError):
             result.slowdown[0] = 0.0
@@ -111,7 +114,7 @@ class TestBlockKernel:
         bad_shape = DieBlock(config, 0, 4).build()
         with pytest.raises(ConfigError, match="shape"):
             evaluate_block(config, 0, 8, 500.0, ClockScheme.BASELINE,
-                           effective=bad_shape)
+                           sample=bad_shape)
 
 
 # ----------------------------------------------------------------------

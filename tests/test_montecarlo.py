@@ -36,6 +36,7 @@ from repro.montecarlo import (
     per_die_rows,
     sample_die,
     vccmin_rows,
+    weighted_wilson_interval,
     wilson_interval,
     yield_curve_rows,
 )
@@ -210,6 +211,65 @@ class TestStreamingStats:
             wilson_interval(1, 2, confidence=1.0)
         with pytest.raises(ConfigError):
             DiscreteDistribution().percentile(101.0)
+
+
+class TestStatsEdgeCases:
+    """Boundary inputs the campaign reducers can legitimately produce."""
+
+    def test_wilson_at_observed_zero_and_full_yield(self):
+        """0/N and N/N campaigns: bounds stay in [0, 1], the observed
+        endpoint is pinned exactly, and the far bound stays informative
+        (a zero-failure campaign never claims certainty)."""
+        for trials in (1, 16, 4096):
+            low, high = wilson_interval(0, trials, 0.95)
+            assert low == 0.0
+            assert 0.0 < high < 1.0
+            low, high = wilson_interval(trials, trials, 0.95)
+            assert high == 1.0
+            assert 0.0 < low < 1.0
+            # Symmetry of the score interval around p -> 1 - p.
+            zero = wilson_interval(0, trials, 0.95)
+            full = wilson_interval(trials, trials, 0.95)
+            assert full[0] == pytest.approx(1.0 - zero[1], abs=1e-15)
+
+    def test_weighted_wilson_is_bit_identical_at_integer_ess(self):
+        """The refactor onto the shared float core must not move the
+        historical integer-path bounds by a single bit."""
+        for successes, trials in ((0, 16), (9, 10), (16, 16), (1, 4096)):
+            reference = wilson_interval(successes, trials, 0.95)
+            weighted = weighted_wilson_interval(successes / trials,
+                                                float(trials), 0.95)
+            assert weighted == reference
+
+    def test_percentile_of_a_single_observation(self):
+        dist = DiscreteDistribution()
+        dist.add(450.0)
+        for p in (0.0, 25.0, 50.0, 99.9, 100.0):
+            assert dist.percentile(p) == 450.0
+        assert dist.minimum == dist.maximum == 450.0
+        assert dist.std == 0.0
+
+    def test_percentile_when_every_observation_is_equal(self):
+        dist = DiscreteDistribution()
+        for _ in range(10):
+            dist.add(425.0)
+        for p in (0.0, 10.0, 50.0, 90.0, 100.0):
+            assert dist.percentile(p) == 425.0
+        assert dist.mean == 425.0
+        assert dist.std == 0.0
+
+    def test_streaming_extend_with_an_empty_iterable(self):
+        stats = StreamingStats()
+        stats.extend([])
+        assert stats.count == 0
+        assert all(math.isnan(value)
+                   for value in stats.as_dict("x_").values())
+        stats.add(2.5)
+        before = (stats.count, stats.mean, stats.std,
+                  stats.minimum, stats.maximum)
+        stats.extend(iter(()))  # and mid-stream: a pure no-op
+        assert (stats.count, stats.mean, stats.std,
+                stats.minimum, stats.maximum) == before
 
 
 # ----------------------------------------------------------------------
