@@ -51,6 +51,7 @@ class SweepSettings:
     dram_latency_ns: float = constants.DRAM_LATENCY_NS
     params: PipelineParams = field(default_factory=PipelineParams)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
+    riscv: tuple = ()
 
     def population(self) -> TracePopulationSpec:
         """The deterministic trace-population key of these settings."""
@@ -58,6 +59,7 @@ class SweepSettings:
             profiles=tuple(self.profiles),
             seeds_per_profile=self.seeds_per_profile,
             trace_length=self.trace_length,
+            riscv=tuple(self.riscv),
         )
 
 

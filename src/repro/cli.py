@@ -342,6 +342,18 @@ def _montecarlo_overrides(spec: ExperimentSpec, dies, confidence, block,
         spec, montecarlo=dataclasses.replace(spec.montecarlo, **overrides))
 
 
+def _trace_origins(spec) -> list[str]:
+    """One line per planned trace: its label and where it comes from."""
+    origins = []
+    for profile in spec.profiles:
+        for seed in range(spec.seeds_per_profile):
+            origins.append(f"{profile}/seed{seed}  "
+                           f"(synthetic profile {profile!r})")
+    for ref in spec.riscv:
+        origins.append(f"{ref.name}  (riscv program {ref.path})")
+    return origins
+
+
 def _cmd_run(args) -> int:
     spec = ExperimentSpec.load(args.spec)
     if args.artifact:
@@ -359,9 +371,15 @@ def _cmd_run(args) -> int:
         jobs = experiment.plan()
         grid = spec.grid()
         print(f"experiment:  {spec.name}")
-        print(f"population:  {len(spec.profiles)} profiles x "
-              f"{spec.seeds_per_profile} seeds x "
-              f"{spec.trace_length} instructions")
+        population = (f"population:  {len(spec.profiles)} profiles x "
+                      f"{spec.seeds_per_profile} seeds x "
+                      f"{spec.trace_length} instructions")
+        if spec.riscv:
+            population += (f" + {len(spec.riscv)} riscv "
+                           f"program{'s' if len(spec.riscv) != 1 else ''}")
+        print(population)
+        for origin in _trace_origins(spec):
+            print(f"  {origin}")
         print(f"grid:        {len(grid)} Vcc levels x "
               f"{len(spec.schemes)} schemes "
               f"(+{len(spec.ablations)} ablations, "

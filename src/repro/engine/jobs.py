@@ -42,6 +42,7 @@ from enum import Enum
 
 from repro.errors import ConfigError
 from repro.workloads.profiles import PROFILES_BY_NAME, TraceProfile
+from repro.workloads.riscv import RiscvProgram
 
 #: Job kinds with a registered executor (see :mod:`repro.engine.executors`).
 KNOWN_KINDS = (
@@ -68,53 +69,71 @@ class TracePopulationSpec:
     """Deterministic recipe for a trace population.
 
     Workers regenerate the population from this spec instead of shipping
-    trace objects across process boundaries: generation is seeded, so the
-    rebuilt traces are identical to the parent's.
+    trace objects across process boundaries: synthetic generation is
+    seeded and riscv programs embed their image bytes, so the rebuilt
+    traces are identical to the parent's.
     """
 
-    profiles: tuple[TraceProfile, ...]
+    profiles: tuple[TraceProfile, ...] = ()
     seeds_per_profile: int = 1
     trace_length: int = 12_000
+    riscv: tuple[RiscvProgram, ...] = ()
 
     def __post_init__(self) -> None:
-        if not self.profiles:
-            raise ConfigError("population needs at least one profile")
+        object.__setattr__(self, "profiles", tuple(self.profiles))
+        object.__setattr__(self, "riscv", tuple(self.riscv))
+        if not self.profiles and not self.riscv:
+            raise ConfigError(
+                "population needs at least one profile or riscv program")
         if self.seeds_per_profile < 1 or self.trace_length < 1:
             raise ConfigError("population sizing must be positive")
 
     def build(self):
         """Generate the trace population (deterministic)."""
+        from repro.workloads.riscv import run_riscv_program
         from repro.workloads.synthetic import generate_population
 
-        return generate_population(self.profiles, self.seeds_per_profile,
-                                   self.trace_length)
+        traces = []
+        if self.profiles:
+            traces.extend(generate_population(
+                self.profiles, self.seeds_per_profile, self.trace_length))
+        for program in self.riscv:
+            traces.append(run_riscv_program(program)[0])
+        return traces
 
     def trace_specs(self) -> "tuple[TraceSpec, ...]":
-        """Per-trace recipes, in population order (profiles x seeds).
+        """Per-trace recipes, in population order.
 
-        ``[spec.build() for spec in population.trace_specs()]`` produces
-        exactly the traces of :meth:`build`, in the same order — each
-        generator is seeded independently, so a single trace can be
-        rebuilt without generating the rest of the population.  This
-        ordering is the aggregation contract of :func:`shard_jobs`.
+        Synthetic traces come first (profiles x seeds), then the riscv
+        programs in declaration order.  ``[spec.build() for spec in
+        population.trace_specs()]`` produces exactly the traces of
+        :meth:`build`, in the same order — each synthetic generator is
+        seeded independently and each riscv program is self-contained,
+        so a single trace can be rebuilt without generating the rest of
+        the population.  This ordering is the aggregation contract of
+        :func:`shard_jobs`.
         """
-        return tuple(
+        synthetic = tuple(
             TraceSpec(source="synthetic", profile=profile, seed=seed,
                       length=self.trace_length)
             for profile in self.profiles
             for seed in range(self.seeds_per_profile))
+        programs = tuple(TraceSpec(source="riscv", program=program)
+                         for program in self.riscv)
+        return synthetic + programs
 
 
 @dataclass(frozen=True)
 class TraceSpec:
-    """Recipe for one trace: a synthetic profile walk or a kernel."""
+    """Recipe for one trace: a synthetic walk, a kernel, or a riscv binary."""
 
-    source: str = "synthetic"           # "synthetic" | "kernel"
+    source: str = "synthetic"           # "synthetic" | "kernel" | "riscv"
     profile: TraceProfile | None = None
     seed: int = 0
     length: int = 6_000
     kernel: str | None = None
     size: int = 32
+    program: RiscvProgram | None = None
 
     def __post_init__(self) -> None:
         if self.source == "synthetic":
@@ -123,6 +142,9 @@ class TraceSpec:
         elif self.source == "kernel":
             if not self.kernel:
                 raise ConfigError("kernel trace spec needs a kernel name")
+        elif self.source == "riscv":
+            if self.program is None:
+                raise ConfigError("riscv trace spec needs a program")
         else:
             raise ConfigError(f"unknown trace source {self.source!r}")
 
@@ -138,6 +160,10 @@ class TraceSpec:
     def for_kernel(cls, kernel: str, size: int = 32) -> "TraceSpec":
         return cls(source="kernel", kernel=kernel, size=size)
 
+    @classmethod
+    def for_riscv(cls, program: RiscvProgram) -> "TraceSpec":
+        return cls(source="riscv", program=program)
+
     def build(self):
         """Generate the trace (deterministic)."""
         if self.source == "kernel":
@@ -145,6 +171,10 @@ class TraceSpec:
 
             trace, _ = kernel_trace(self.kernel, self.size)
             return trace
+        if self.source == "riscv":
+            from repro.workloads.riscv import run_riscv_program
+
+            return run_riscv_program(self.program)[0]
         from repro.workloads.synthetic import SyntheticTraceGenerator
 
         generator = SyntheticTraceGenerator(self.profile, seed=self.seed)
@@ -155,6 +185,8 @@ class TraceSpec:
         """Short human-readable identity (matches the built trace's name)."""
         if self.source == "kernel":
             return f"{self.kernel}/n{self.size}"
+        if self.source == "riscv":
+            return self.program.name
         return f"{self.profile.name}/seed{self.seed}"
 
 
@@ -287,8 +319,9 @@ def stable_token(value):
 
     Dataclasses are expanded field-by-field (tagged with their qualified
     name so two different types never collide), enums by value, floats by
-    exact ``repr``.  Unsupported types raise ``TypeError`` — jobs must be
-    plain data.
+    exact ``repr``, bytes by sha256 digest (so a riscv-backed trace spec
+    is keyed by its program contents without inflating the token tree).
+    Unsupported types raise ``TypeError`` — jobs must be plain data.
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         token = {"__type__": f"{type(value).__module__}."
@@ -305,6 +338,8 @@ def stable_token(value):
         return value
     if isinstance(value, float):
         return {"__float__": repr(value)}
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes_sha256__": hashlib.sha256(bytes(value)).hexdigest()}
     if isinstance(value, (list, tuple)):
         return [stable_token(item) for item in value]
     if isinstance(value, dict):

@@ -41,6 +41,7 @@ from repro.experiments.spec import (
     AblationSpec,
     DvfsScheduleSpec,
     ExperimentSpec,
+    RiscvProgramRef,
 )
 from repro.montecarlo.spec import MonteCarloSpec
 
@@ -55,6 +56,7 @@ __all__ = [
     "MonteCarloSpec",
     "Record",
     "ResultSet",
+    "RiscvProgramRef",
     "artifact",
     "run_spec",
 ]

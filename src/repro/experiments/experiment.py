@@ -55,7 +55,7 @@ class Experiment:
     def sweep(self) -> VccSweep:
         """The population sweep the spec implies (lazily built)."""
         if self._sweep is None:
-            if not self.spec.profiles:
+            if not self.spec.has_population():
                 raise ConfigError(
                     f"experiment {self.spec.name!r} has no trace "
                     f"population; only dvfs and montecarlo artifacts "
@@ -77,7 +77,7 @@ class Experiment:
         Empty for a population-less (dvfs-only) spec: there is no sweep
         to evaluate grid points on.
         """
-        if not self.spec.profiles:
+        if not self.spec.has_population():
             return []
         points = [(vcc, scheme, "")
                   for vcc in self.spec.grid()
@@ -105,8 +105,8 @@ class Experiment:
                                     scheme=ClockScheme(scheme))
                 jobs.append(schedule_job(
                     spec,
-                    solver=self.sweep.solver if self.spec.profiles
-                    else None,
+                    solver=self.sweep.solver
+                    if self.spec.has_population() else None,
                     params=self.spec.pipeline_params(),
                     memory=self.spec.memory_config(),
                     dram_latency_ns=self.spec.dram_latency_ns,

@@ -30,7 +30,7 @@ from repro.circuits import constants
 from repro.circuits.ekv import voltage_grid
 from repro.circuits.frequency import ClockScheme
 from repro.engine.jobs import TraceSpec
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TraceError
 from repro.memory.hierarchy import MemoryConfig
 from repro.montecarlo.spec import MonteCarloSpec
 from repro.pipeline.resources import PipelineParams
@@ -38,6 +38,10 @@ from repro.workloads.profiles import (
     PROFILES_BY_NAME,
     STANDARD_PROFILES,
     TraceProfile,
+)
+from repro.workloads.riscv import (
+    DEFAULT_MAX_INSTRUCTIONS as _RISCV_DEFAULT_MAX_INSTRUCTIONS,
+    RiscvProgram,
 )
 
 #: Names the artifact registry must serve (kept here so spec validation
@@ -180,6 +184,59 @@ class DvfsScheduleSpec:
 
 
 @dataclass(frozen=True)
+class RiscvProgramRef:
+    """One ``[population.riscv.<name>]`` entry: a compiled RV32I binary.
+
+    The spec stores the *path*; the program bytes are read at
+    compile time (:meth:`load`) and embedded into the engine's trace
+    specs, so job keys derive from the file's contents (sha256), not
+    its location — moving a binary never invalidates its cache entries,
+    while editing one byte of it re-simulates exactly that trace.
+    """
+
+    name: str
+    path: str
+    max_instructions: int = _RISCV_DEFAULT_MAX_INSTRUCTIONS
+
+    def __post_init__(self) -> None:
+        if not re.fullmatch(r"[A-Za-z0-9_-]+", self.name or ""):
+            # The name becomes a [population.riscv.<name>] TOML table
+            # header, where only bare keys are supported.
+            raise ConfigError(
+                f"riscv program name {self.name!r} must use only "
+                f"letters, digits, '-' and '_'")
+        if not self.path:
+            raise ConfigError(f"riscv program {self.name!r} needs a path")
+        if self.max_instructions < 1:
+            raise ConfigError(f"riscv program {self.name!r}: "
+                              f"max_instructions must be >= 1")
+
+    def load(self) -> RiscvProgram:
+        """Read the binary and build the engine-level program value."""
+        try:
+            return RiscvProgram.from_file(
+                self.path, name=self.name,
+                max_instructions=self.max_instructions)
+        except TraceError as exc:
+            raise ConfigError(str(exc)) from exc
+
+    def to_dict(self) -> dict:
+        data: dict = {"path": self.path}
+        if self.max_instructions != _RISCV_DEFAULT_MAX_INSTRUCTIONS:
+            data["max_instructions"] = self.max_instructions
+        return data
+
+    @classmethod
+    def from_dict(cls, name: str, data: dict) -> "RiscvProgramRef":
+        data = _checked_keys(dict(data), {"path", "max_instructions"},
+                             f"riscv program {name!r}")
+        kwargs: dict = {"name": str(name), "path": str(data.get("path", ""))}
+        if "max_instructions" in data:
+            kwargs["max_instructions"] = int(data["max_instructions"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """One declarative evaluation campaign (population + grid + artifacts).
 
@@ -196,6 +253,9 @@ class ExperimentSpec:
     #: Inline (non-named) trace profiles authored directly in the spec;
     #: reference them from ``profiles`` by their ``name``.
     custom_profiles: tuple[TraceProfile, ...] = ()
+    #: Real compiled RV32I binaries mixed into the population, after the
+    #: synthetic traces (``[population.riscv.<name>] path = ...``).
+    riscv: tuple[RiscvProgramRef, ...] = ()
     seeds_per_profile: int = 1
     trace_length: int = 12_000
     vcc_mv: tuple[float, ...] = ()
@@ -225,6 +285,7 @@ class ExperimentSpec:
                            tuple(str(p) for p in self.profiles))
         object.__setattr__(self, "custom_profiles",
                            tuple(self.custom_profiles))
+        object.__setattr__(self, "riscv", tuple(self.riscv))
         # First-occurrence dedup: a repeated grid level would emit
         # duplicate records (ambiguous ResultSet pivots) and double
         # every montecarlo group; one spec = one canonical grid.
@@ -295,7 +356,19 @@ class ExperimentSpec:
                 f"experiment {self.name!r}: custom profile(s) "
                 f"{', '.join(repr(name) for name in unused)} are "
                 f"defined but never referenced from 'profiles'")
-        if not self.profiles and not self.dvfs \
+        riscv_names = set()
+        for ref in self.riscv:
+            if not isinstance(ref, RiscvProgramRef):
+                raise ConfigError(
+                    f"experiment {self.name!r}: riscv programs must be "
+                    f"RiscvProgramRef instances, got "
+                    f"{type(ref).__name__}")
+            if ref.name in riscv_names:
+                raise ConfigError(
+                    f"experiment {self.name!r}: duplicate riscv "
+                    f"program {ref.name!r}")
+            riscv_names.add(ref.name)
+        if not self.has_population() and not self.dvfs \
                 and self.montecarlo is None:
             raise ConfigError(f"experiment {self.name!r} has no "
                               f"population, no dvfs schedules and no "
@@ -320,7 +393,8 @@ class ExperimentSpec:
                 raise ConfigError(
                     f"unknown artifact {artifact!r}; known: "
                     f"{', '.join(KNOWN_ARTIFACTS)}")
-            if artifact in POPULATION_ARTIFACTS and not self.profiles:
+            if artifact in POPULATION_ARTIFACTS \
+                    and not self.has_population():
                 raise ConfigError(
                     f"experiment {self.name!r} renders {artifact!r} but "
                     f"has no trace population")
@@ -346,6 +420,11 @@ class ExperimentSpec:
 
     # -- derived views --------------------------------------------------
 
+    def has_population(self) -> bool:
+        """True if the spec defines any trace population (synthetic or
+        riscv) for the population-style artifacts to simulate."""
+        return bool(self.profiles or self.riscv)
+
     def grid(self) -> tuple[float, ...]:
         """The resolved Vcc grid (explicit list, else the paper sweep)."""
         if self.vcc_mv:
@@ -365,6 +444,12 @@ class ExperimentSpec:
         return tuple(custom.get(name, PROFILES_BY_NAME.get(name))
                      for name in self.profiles)
 
+    def riscv_programs(self) -> tuple[RiscvProgram, ...]:
+        """The referenced binaries, loaded from disk (ConfigError if
+        unreadable).  Paths are as stored; :meth:`load` resolves
+        relative paths against the spec file's directory."""
+        return tuple(ref.load() for ref in self.riscv)
+
     def sweep_settings(self) -> SweepSettings:
         """The :class:`VccSweep` settings this spec's population implies."""
         return SweepSettings(
@@ -375,6 +460,7 @@ class ExperimentSpec:
             dram_latency_ns=self.dram_latency_ns,
             params=self.pipeline_params(),
             memory=self.memory_config(),
+            riscv=self.riscv_programs(),
         )
 
     # -- serialization --------------------------------------------------
@@ -399,6 +485,9 @@ class ExperimentSpec:
             data["population"]["custom"] = {
                 profile.name: _profile_overrides(profile)
                 for profile in self.custom_profiles}
+        if self.riscv:
+            data["population"]["riscv"] = {
+                ref.name: ref.to_dict() for ref in self.riscv}
         if self.vcc_mv:
             data["grid"]["vcc_mv"] = list(self.vcc_mv)
         if self.step_mv is not None:
@@ -429,7 +518,8 @@ class ExperimentSpec:
             "experiment")
         population = _checked_keys(
             dict(data.get("population", {})),
-            {"profiles", "custom", "seeds_per_profile", "trace_length"},
+            {"profiles", "custom", "riscv", "seeds_per_profile",
+             "trace_length"},
             "population")
         grid = _checked_keys(dict(data.get("grid", {})),
                              {"vcc_mv", "step_mv", "schemes"}, "grid")
@@ -449,6 +539,10 @@ class ExperimentSpec:
                 _custom_profile(name, overrides)
                 for name, overrides
                 in dict(population["custom"]).items())
+        if "riscv" in population:
+            kwargs["riscv"] = tuple(
+                RiscvProgramRef.from_dict(name, entry)
+                for name, entry in dict(population["riscv"]).items())
         if "seeds_per_profile" in population:
             kwargs["seeds_per_profile"] = int(
                 population["seeds_per_profile"])
@@ -523,11 +617,24 @@ class ExperimentSpec:
         except OSError as exc:
             raise ConfigError(f"cannot read spec file {path}: {exc}")
         if path.suffix == ".toml":
-            return cls.from_toml(text)
-        if path.suffix == ".json":
-            return cls.from_json(text)
-        raise ConfigError(f"unknown spec format {path.suffix!r} "
-                          f"(expected .toml or .json)")
+            spec = cls.from_toml(text)
+        elif path.suffix == ".json":
+            spec = cls.from_json(text)
+        else:
+            raise ConfigError(f"unknown spec format {path.suffix!r} "
+                              f"(expected .toml or .json)")
+        return spec._resolve_riscv_paths(path.parent)
+
+    def _resolve_riscv_paths(self, base) -> "ExperimentSpec":
+        """Anchor relative riscv program paths at the spec file's dir."""
+        if not self.riscv:
+            return self
+        resolved = tuple(
+            ref if pathlib.Path(ref.path).is_absolute()
+            else dataclasses.replace(
+                ref, path=str(pathlib.Path(base) / ref.path))
+            for ref in self.riscv)
+        return dataclasses.replace(self, riscv=resolved)
 
     def save(self, path) -> None:
         """Write the spec to ``path`` (format from the suffix)."""

@@ -1,6 +1,13 @@
-"""Mini ISA: micro-ops, opcodes, registers and functional semantics."""
+"""ISAs: the mini micro-op ISA the pipeline consumes, plus real RV32I.
+
+The mini ISA (micro-ops, opcodes, registers, functional semantics) is
+what the pipeline model executes; :mod:`repro.isa.rv32i` decodes the
+real RISC-V RV32I encoding so compiled binaries can be interpreted and
+lowered onto the mini ISA by :mod:`repro.workloads.riscv`.
+"""
 
 from repro.isa.instructions import MicroOp, nop
+from repro.isa.rv32i import IllegalInstruction, Instruction, decode, encode
 from repro.isa.opcodes import (
     CONTROL_CLASSES,
     DEFAULT_LATENCY,
@@ -16,6 +23,8 @@ from repro.isa.semantics import alu_result, branch_taken, to_signed64, wrap64
 __all__ = [
     "CONTROL_CLASSES",
     "DEFAULT_LATENCY",
+    "IllegalInstruction",
+    "Instruction",
     "LONG_LATENCY_CLASSES",
     "MicroOp",
     "NUM_REGISTERS",
@@ -25,6 +34,8 @@ __all__ = [
     "UNPIPELINED_CLASSES",
     "alu_result",
     "branch_taken",
+    "decode",
+    "encode",
     "nop",
     "parse_register",
     "register_name",

@@ -1,0 +1,350 @@
+"""RV32I base-ISA decoder and encoder.
+
+This module understands the real RISC-V RV32I encoding — all six
+instruction formats (R/I/S/B/U/J) plus the FENCE and SYSTEM special
+cases — and is deliberately strict: :func:`decode` either returns a
+fully-validated :class:`Instruction` or raises a typed
+:class:`IllegalInstruction`, and :func:`encode` refuses out-of-range or
+misaligned immediates instead of silently wrapping them.  Strictness is
+what makes the round-trip property testable: for every 32-bit word,
+``encode(decode(word)) == word`` whenever ``decode`` succeeds.
+
+The decoder is consumed by :mod:`repro.workloads.riscv`, which runs
+compiled RV32I binaries through an architectural interpreter and emits
+the same :class:`~repro.workloads.trace.Trace` format the synthetic
+generators produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+
+
+class IllegalInstruction(TraceError):
+    """A 32-bit word is not a legal RV32I instruction, or an
+    :class:`Instruction` cannot be represented in the encoding."""
+
+
+XLEN = 32
+WORD_MASK = 0xFFFF_FFFF
+
+#: Instruction formats.  ``shift`` and ``sys`` are sub-formats of I with
+#: extra fixed fields; ``fence`` keeps rd/rs1/imm so round-trips are exact.
+_FORMATS = ("r", "i", "shift", "s", "b", "u", "j", "fence", "sys")
+
+#: mnemonic -> (format, opcode, funct3, funct7).  funct3/funct7 are None
+#: when the format does not encode them.  For ``sys`` the funct7 slot
+#: holds the full 12-bit immediate instead (0 = ecall, 1 = ebreak).
+_SPECS: dict[str, tuple[str, int, int | None, int | None]] = {
+    "lui": ("u", 0x37, None, None),
+    "auipc": ("u", 0x17, None, None),
+    "jal": ("j", 0x6F, None, None),
+    "jalr": ("i", 0x67, 0, None),
+    "beq": ("b", 0x63, 0, None),
+    "bne": ("b", 0x63, 1, None),
+    "blt": ("b", 0x63, 4, None),
+    "bge": ("b", 0x63, 5, None),
+    "bltu": ("b", 0x63, 6, None),
+    "bgeu": ("b", 0x63, 7, None),
+    "lb": ("i", 0x03, 0, None),
+    "lh": ("i", 0x03, 1, None),
+    "lw": ("i", 0x03, 2, None),
+    "lbu": ("i", 0x03, 4, None),
+    "lhu": ("i", 0x03, 5, None),
+    "sb": ("s", 0x23, 0, None),
+    "sh": ("s", 0x23, 1, None),
+    "sw": ("s", 0x23, 2, None),
+    "addi": ("i", 0x13, 0, None),
+    "slti": ("i", 0x13, 2, None),
+    "sltiu": ("i", 0x13, 3, None),
+    "xori": ("i", 0x13, 4, None),
+    "ori": ("i", 0x13, 6, None),
+    "andi": ("i", 0x13, 7, None),
+    "slli": ("shift", 0x13, 1, 0x00),
+    "srli": ("shift", 0x13, 5, 0x00),
+    "srai": ("shift", 0x13, 5, 0x20),
+    "add": ("r", 0x33, 0, 0x00),
+    "sub": ("r", 0x33, 0, 0x20),
+    "sll": ("r", 0x33, 1, 0x00),
+    "slt": ("r", 0x33, 2, 0x00),
+    "sltu": ("r", 0x33, 3, 0x00),
+    "xor": ("r", 0x33, 4, 0x00),
+    "srl": ("r", 0x33, 5, 0x00),
+    "sra": ("r", 0x33, 5, 0x20),
+    "or": ("r", 0x33, 6, 0x00),
+    "and": ("r", 0x33, 7, 0x00),
+    "fence": ("fence", 0x0F, 0, None),
+    "ecall": ("sys", 0x73, 0, 0),
+    "ebreak": ("sys", 0x73, 0, 1),
+}
+
+#: Which fields each format actually encodes; everything else must stay
+#: at its default so two Instruction objects never encode the same word.
+_FORMAT_FIELDS: dict[str, frozenset[str]] = {
+    "r": frozenset({"rd", "rs1", "rs2"}),
+    "i": frozenset({"rd", "rs1", "imm"}),
+    "shift": frozenset({"rd", "rs1", "imm"}),
+    "s": frozenset({"rs1", "rs2", "imm"}),
+    "b": frozenset({"rs1", "rs2", "imm"}),
+    "u": frozenset({"rd", "imm"}),
+    "j": frozenset({"rd", "imm"}),
+    "fence": frozenset({"rd", "rs1", "imm"}),
+    "sys": frozenset(),
+}
+
+#: Signed immediate ranges per format (inclusive), before alignment rules.
+_IMM_RANGE: dict[str, tuple[int, int]] = {
+    "i": (-2048, 2047),
+    "shift": (0, 31),
+    "s": (-2048, 2047),
+    "b": (-4096, 4094),
+    "u": (0, 0xFFFFF),
+    "j": (-1048576, 1048574),
+    "fence": (-2048, 2047),
+}
+
+
+def _sext(value: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` bits of ``value``."""
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded RV32I instruction.
+
+    Fields outside the instruction's format must keep their defaults
+    (enforced at construction) so every legal word has exactly one
+    :class:`Instruction` and the encode/decode round-trip is an identity.
+    ``imm`` is the sign-extended byte offset for I/S/B/J formats and the
+    raw 20-bit field for U-type (``lui``/``auipc``).
+    """
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        spec = _SPECS.get(self.mnemonic)
+        if spec is None:
+            raise IllegalInstruction(f"unknown RV32I mnemonic {self.mnemonic!r}")
+        fmt = spec[0]
+        fields = _FORMAT_FIELDS[fmt]
+        for reg_field in ("rd", "rs1", "rs2"):
+            value = getattr(self, reg_field)
+            if not isinstance(value, int) or not 0 <= value < 32:
+                raise IllegalInstruction(
+                    f"{self.mnemonic}: {reg_field}={value!r} is not a register 0..31"
+                )
+            if reg_field not in fields and value != 0:
+                raise IllegalInstruction(
+                    f"{self.mnemonic}: {reg_field} is not encoded by the "
+                    f"{fmt.upper()} format and must be 0"
+                )
+        if not isinstance(self.imm, int):
+            raise IllegalInstruction(f"{self.mnemonic}: imm must be an int")
+        if "imm" in fields:
+            lo, hi = _IMM_RANGE[fmt]
+            if not lo <= self.imm <= hi:
+                raise IllegalInstruction(
+                    f"{self.mnemonic}: immediate {self.imm} outside [{lo}, {hi}]"
+                )
+            if fmt in ("b", "j") and self.imm % 2:
+                raise IllegalInstruction(
+                    f"{self.mnemonic}: branch/jump offset {self.imm} must be even"
+                )
+        elif self.imm != 0:
+            raise IllegalInstruction(
+                f"{self.mnemonic}: imm is not encoded by the {fmt.upper()} "
+                "format and must be 0"
+            )
+
+    @property
+    def format(self) -> str:
+        """Encoding format: r/i/shift/s/b/u/j/fence/sys."""
+        return _SPECS[self.mnemonic][0]
+
+    def __str__(self) -> str:
+        return disassemble(self)
+
+
+def encode(instr: Instruction) -> int:
+    """Encode a validated :class:`Instruction` into its 32-bit word."""
+    fmt, opcode, funct3, funct7 = _SPECS[instr.mnemonic]
+    rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+    if fmt == "r":
+        assert funct3 is not None and funct7 is not None
+        return opcode | rd << 7 | funct3 << 12 | rs1 << 15 | rs2 << 20 | funct7 << 25
+    if fmt in ("i", "fence"):
+        assert funct3 is not None
+        return opcode | rd << 7 | funct3 << 12 | rs1 << 15 | (imm & 0xFFF) << 20
+    if fmt == "shift":
+        assert funct3 is not None and funct7 is not None
+        return opcode | rd << 7 | funct3 << 12 | rs1 << 15 | imm << 20 | funct7 << 25
+    if fmt == "s":
+        assert funct3 is not None
+        lo = imm & 0x1F
+        hi = (imm >> 5) & 0x7F
+        return opcode | lo << 7 | funct3 << 12 | rs1 << 15 | rs2 << 20 | hi << 25
+    if fmt == "b":
+        assert funct3 is not None
+        word = opcode | funct3 << 12 | rs1 << 15 | rs2 << 20
+        word |= ((imm >> 11) & 1) << 7
+        word |= ((imm >> 1) & 0xF) << 8
+        word |= ((imm >> 5) & 0x3F) << 25
+        word |= ((imm >> 12) & 1) << 31
+        return word
+    if fmt == "u":
+        return opcode | rd << 7 | imm << 12
+    if fmt == "j":
+        word = opcode | rd << 7
+        word |= ((imm >> 12) & 0xFF) << 12
+        word |= ((imm >> 11) & 1) << 20
+        word |= ((imm >> 1) & 0x3FF) << 21
+        word |= ((imm >> 20) & 1) << 31
+        return word
+    # sys: the funct7 slot of the spec holds the full 12-bit immediate.
+    assert fmt == "sys" and funct7 is not None
+    return opcode | funct7 << 20
+
+
+#: (opcode, funct3) -> mnemonic for formats fully determined by those two
+#: fields.  R-type and shifts also need funct7 and are resolved in decode.
+_BY_OP_F3: dict[tuple[int, int | None], str] = {}
+for _name, (_fmt, _op, _f3, _f7) in _SPECS.items():
+    if _fmt in ("i", "s", "b", "fence"):
+        _BY_OP_F3[(_op, _f3)] = _name
+    elif _fmt in ("u", "j"):
+        _BY_OP_F3[(_op, None)] = _name
+
+_BY_OP_F3_F7: dict[tuple[int, int, int], str] = {
+    (_op, _f3, _f7): _name
+    for _name, (_fmt, _op, _f3, _f7) in _SPECS.items()
+    if _fmt in ("r", "shift")
+    if _f3 is not None and _f7 is not None
+}
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word or raise :class:`IllegalInstruction`."""
+    if not isinstance(word, int) or not 0 <= word <= WORD_MASK:
+        raise IllegalInstruction(f"not a 32-bit word: {word!r}")
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode in (0x37, 0x17):  # lui / auipc
+        name = _BY_OP_F3[(opcode, None)]
+        return Instruction(name, rd=rd, imm=(word >> 12) & 0xFFFFF)
+    if opcode == 0x6F:  # jal
+        imm = _sext(
+            ((word >> 31) & 1) << 20
+            | ((word >> 12) & 0xFF) << 12
+            | ((word >> 20) & 1) << 11
+            | ((word >> 21) & 0x3FF) << 1,
+            21,
+        )
+        return Instruction("jal", rd=rd, imm=imm)
+    if opcode == 0x33:  # register-register ALU
+        name = _BY_OP_F3_F7.get((opcode, funct3, funct7))
+        if name is None:
+            raise _illegal(word, f"OP funct3={funct3} funct7={funct7:#04x}")
+        return Instruction(name, rd=rd, rs1=rs1, rs2=rs2)
+    if opcode == 0x13:  # immediate ALU, including shifts
+        if funct3 in (1, 5):
+            name = _BY_OP_F3_F7.get((opcode, funct3, funct7))
+            if name is None:
+                raise _illegal(word, f"OP-IMM shift funct7={funct7:#04x}")
+            return Instruction(name, rd=rd, rs1=rs1, imm=rs2)
+        name = _BY_OP_F3[(opcode, funct3)]
+        return Instruction(name, rd=rd, rs1=rs1, imm=_sext(word >> 20, 12))
+    if opcode in (0x67, 0x03):  # jalr / loads
+        name = _BY_OP_F3.get((opcode, funct3))
+        if name is None:
+            raise _illegal(word, f"load/jalr funct3={funct3}")
+        return Instruction(name, rd=rd, rs1=rs1, imm=_sext(word >> 20, 12))
+    if opcode == 0x23:  # stores
+        name = _BY_OP_F3.get((opcode, funct3))
+        if name is None:
+            raise _illegal(word, f"store funct3={funct3}")
+        imm = _sext(funct7 << 5 | rd, 12)
+        return Instruction(name, rs1=rs1, rs2=rs2, imm=imm)
+    if opcode == 0x63:  # conditional branches
+        name = _BY_OP_F3.get((opcode, funct3))
+        if name is None:
+            raise _illegal(word, f"branch funct3={funct3}")
+        imm = _sext(
+            ((word >> 31) & 1) << 12
+            | ((word >> 7) & 1) << 11
+            | ((word >> 25) & 0x3F) << 5
+            | ((word >> 8) & 0xF) << 1,
+            13,
+        )
+        return Instruction(name, rs1=rs1, rs2=rs2, imm=imm)
+    if opcode == 0x0F:  # fence
+        if funct3 != 0:
+            raise _illegal(word, f"FENCE funct3={funct3}")
+        return Instruction("fence", rd=rd, rs1=rs1, imm=_sext(word >> 20, 12))
+    if opcode == 0x73:  # system
+        imm12 = word >> 20
+        if funct3 != 0 or rd != 0 or rs1 != 0 or imm12 not in (0, 1):
+            raise _illegal(word, "SYSTEM")
+        return Instruction("ecall" if imm12 == 0 else "ebreak")
+    raise _illegal(word, f"opcode {opcode:#04x}")
+
+
+def _illegal(word: int, what: str) -> IllegalInstruction:
+    return IllegalInstruction(f"illegal RV32I word {word:#010x} ({what})")
+
+
+def disassemble(instr: Instruction) -> str:
+    """Human-readable form, used in state traces and divergence reports."""
+    fmt = instr.format
+    if fmt == "r":
+        return f"{instr.mnemonic} x{instr.rd}, x{instr.rs1}, x{instr.rs2}"
+    if fmt in ("i", "shift"):
+        if instr.mnemonic in ("lb", "lh", "lw", "lbu", "lhu", "jalr"):
+            return f"{instr.mnemonic} x{instr.rd}, {instr.imm}(x{instr.rs1})"
+        return f"{instr.mnemonic} x{instr.rd}, x{instr.rs1}, {instr.imm}"
+    if fmt == "s":
+        return f"{instr.mnemonic} x{instr.rs2}, {instr.imm}(x{instr.rs1})"
+    if fmt == "b":
+        return f"{instr.mnemonic} x{instr.rs1}, x{instr.rs2}, {instr.imm}"
+    if fmt == "u":
+        return f"{instr.mnemonic} x{instr.rd}, {instr.imm:#x}"
+    if fmt == "j":
+        return f"{instr.mnemonic} x{instr.rd}, {instr.imm}"
+    if fmt == "fence":
+        return "fence"
+    return instr.mnemonic
+
+
+def assemble_words(instrs: list[Instruction] | tuple[Instruction, ...]) -> bytes:
+    """Encode a sequence of instructions as a little-endian flat image."""
+    out = bytearray()
+    for instr in instrs:
+        out += encode(instr).to_bytes(4, "little")
+    return bytes(out)
+
+
+MNEMONICS = tuple(sorted(_SPECS))
+
+__all__ = [
+    "IllegalInstruction",
+    "Instruction",
+    "MNEMONICS",
+    "WORD_MASK",
+    "XLEN",
+    "assemble_words",
+    "decode",
+    "disassemble",
+    "encode",
+]

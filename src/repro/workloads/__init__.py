@@ -19,6 +19,14 @@ from repro.workloads.profiles import (
     STANDARD_PROFILES,
     TraceProfile,
 )
+from repro.workloads.riscv import (
+    RiscvProgram,
+    Rv32iMachine,
+    StepState,
+    diff_state_traces,
+    run_riscv_program,
+    state_trace,
+)
 from repro.workloads.synthetic import SyntheticTraceGenerator, generate_population
 from repro.workloads.traceio import load_trace, save_trace
 from repro.workloads.trace import Trace
@@ -32,6 +40,8 @@ __all__ = [
     "OFFICE_LIKE",
     "PROFILES_BY_NAME",
     "Program",
+    "RiscvProgram",
+    "Rv32iMachine",
     "SERVER_LIKE",
     "SPECFP_LIKE",
     "SPECINT_LIKE",
@@ -40,11 +50,15 @@ __all__ = [
     "SyntheticTraceGenerator",
     "Trace",
     "TraceProfile",
+    "StepState",
     "assemble",
     "build_kernel",
+    "diff_state_traces",
     "generate_population",
     "kernel_trace",
     "load_trace",
     "run_program",
+    "run_riscv_program",
     "save_trace",
+    "state_trace",
 ]

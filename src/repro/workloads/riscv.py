@@ -1,0 +1,504 @@
+"""Real-binary workloads: RV32I loader and architectural interpreter.
+
+Runs compiled RV32I programs (flat images or little-endian ELF32
+executables) to completion and emits the same
+:class:`~repro.workloads.trace.Trace` format the synthetic generators
+produce, so real binaries flow unchanged through sharding, caching and
+all execution backends.  A program halts via ``ebreak`` or the RISC-V
+Linux exit syscall (``ecall`` with a7 = 93); any other syscall is an
+error — these are bare-metal fixtures, not a Linux emulator.
+
+Correctness is pinned by the per-instruction state trace: :func:`state_trace`
+yields one :class:`StepState` per retired instruction (pc, word, register
+write, memory effect, next pc) and :func:`diff_state_traces` names the
+first divergent instruction when two runs disagree.  The golden fixtures
+under ``tests/goldens/rv32i/`` and the hypothesis differential suite both
+drive this interface.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import TraceError
+from repro.isa.instructions import MicroOp
+from repro.isa.opcodes import Opcode
+from repro.isa.rv32i import (
+    WORD_MASK,
+    IllegalInstruction,
+    Instruction,
+    decode,
+    disassemble,
+)
+from repro.workloads.trace import Trace
+
+#: Default initial stack pointer (grows down; above any fixture image).
+DEFAULT_STACK_TOP = 0x0010_0000
+
+#: Safety valve: refuse to run away on a diverging binary.
+DEFAULT_MAX_INSTRUCTIONS = 1_000_000
+
+#: RISC-V Linux syscall number for exit; the only syscall we honor.
+EXIT_SYSCALL = 93
+
+_ELF_MAGIC = b"\x7fELF"
+_EM_RISCV = 243
+
+
+@dataclass(frozen=True)
+class RiscvProgram:
+    """A compiled RV32I program plus its initial architectural state.
+
+    The raw image bytes are embedded (not a path), so engine job keys —
+    which hash every spec field — derive from a sha256 of the program
+    contents plus the entry state, and queue workers never need access
+    to the original file.
+    """
+
+    name: str
+    data: bytes
+    entry: int | None = None
+    sp: int | None = None
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TraceError("riscv program needs a non-empty name")
+        if not isinstance(self.data, bytes) or not self.data:
+            raise TraceError(f"riscv program {self.name!r}: empty image")
+        if self.max_instructions < 1:
+            raise TraceError(
+                f"riscv program {self.name!r}: max_instructions must be >= 1"
+            )
+
+    @property
+    def sha256(self) -> str:
+        return hashlib.sha256(self.data).hexdigest()
+
+    @classmethod
+    def from_file(cls, path: str | Path, name: str | None = None,
+                  **overrides) -> RiscvProgram:
+        """Load a flat ``.bin`` or ELF image from disk."""
+        path = Path(path)
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise TraceError(f"cannot read riscv program {path}: {exc}") from exc
+        return cls(name=name or path.stem, data=data, **overrides)
+
+
+@dataclass
+class LoadedImage:
+    """Byte-addressed initial memory plus the entry pc."""
+
+    memory: dict[int, int] = field(default_factory=dict)
+    entry: int = 0
+
+
+def load_image(data: bytes) -> LoadedImage:
+    """Place ``data`` in memory: ELF32 by magic, else flat at address 0."""
+    if data[:4] == _ELF_MAGIC:
+        return _load_elf(data)
+    return LoadedImage(memory=dict(enumerate(data)), entry=0)
+
+
+def _load_elf(data: bytes) -> LoadedImage:
+    if len(data) < 52:
+        raise TraceError("ELF image truncated (header)")
+    if data[4] != 1:
+        raise TraceError("only ELF32 images are supported")
+    if data[5] != 1:
+        raise TraceError("only little-endian ELF images are supported")
+    machine = int.from_bytes(data[18:20], "little")
+    if machine != _EM_RISCV:
+        raise TraceError(f"ELF machine {machine} is not RISC-V ({_EM_RISCV})")
+    entry = int.from_bytes(data[24:28], "little")
+    phoff = int.from_bytes(data[28:32], "little")
+    phentsize = int.from_bytes(data[42:44], "little")
+    phnum = int.from_bytes(data[44:46], "little")
+    if phnum and phentsize < 32:
+        raise TraceError(f"ELF program-header entries too small ({phentsize})")
+    memory: dict[int, int] = {}
+    for index in range(phnum):
+        header = data[phoff + index * phentsize:][:32]
+        if len(header) < 32:
+            raise TraceError(f"ELF program header {index} truncated")
+        p_type = int.from_bytes(header[0:4], "little")
+        if p_type != 1:  # PT_LOAD
+            continue
+        p_offset = int.from_bytes(header[4:8], "little")
+        p_vaddr = int.from_bytes(header[8:12], "little")
+        p_filesz = int.from_bytes(header[16:20], "little")
+        p_memsz = int.from_bytes(header[20:24], "little")
+        segment = data[p_offset:p_offset + p_filesz]
+        if len(segment) < p_filesz:
+            raise TraceError(f"ELF segment {index} extends past end of file")
+        for offset, byte in enumerate(segment):
+            memory[p_vaddr + offset] = byte
+        for offset in range(p_filesz, p_memsz):  # BSS tail
+            memory[p_vaddr + offset] = 0
+    return LoadedImage(memory=memory, entry=entry)
+
+
+@dataclass(frozen=True)
+class StepState:
+    """Architectural effect of one retired instruction.
+
+    ``rd`` is ``None`` when the instruction writes no register (stores,
+    branches, writes to the hardwired-zero ``x0``); ``mem_value`` is set
+    only for stores (the bytes written, after size masking); ``next_pc``
+    is ``None`` on the halting instruction.  This is exactly the record
+    serialized into the golden state traces.
+    """
+
+    index: int
+    pc: int
+    word: int
+    asm: str
+    rd: int | None
+    rd_value: int | None
+    mem_addr: int | None
+    mem_value: int | None
+    next_pc: int | None
+
+    _FIELDS = ("index", "pc", "word", "asm", "rd", "rd_value",
+               "mem_addr", "mem_value", "next_pc")
+
+    def to_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> StepState:
+        return cls(**{name: data.get(name) for name in cls._FIELDS})
+
+
+def _signed(value: int) -> int:
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+#: rd <- f(a, b): shared by register-register and immediate forms (the
+#: immediate is sign-extended to a 32-bit unsigned operand first).
+_ALU = {
+    "add": lambda a, b: (a + b) & WORD_MASK,
+    "sub": lambda a, b: (a - b) & WORD_MASK,
+    "sll": lambda a, b: (a << (b & 31)) & WORD_MASK,
+    "srl": lambda a, b: a >> (b & 31),
+    "sra": lambda a, b: (_signed(a) >> (b & 31)) & WORD_MASK,
+    "slt": lambda a, b: int(_signed(a) < _signed(b)),
+    "sltu": lambda a, b: int(a < b),
+    "xor": lambda a, b: a ^ b,
+    "or": lambda a, b: a | b,
+    "and": lambda a, b: a & b,
+}
+
+_ALU_IMM = {"addi": "add", "slti": "slt", "sltiu": "sltu", "xori": "xor",
+            "ori": "or", "andi": "and", "slli": "sll", "srli": "srl",
+            "srai": "sra"}
+
+_BRANCH = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: _signed(a) < _signed(b),
+    "bge": lambda a, b: _signed(a) >= _signed(b),
+    "bltu": lambda a, b: a < b,
+    "bgeu": lambda a, b: a >= b,
+}
+
+#: (size in bytes, sign-extend) per load mnemonic.
+_LOADS = {"lb": (1, True), "lh": (2, True), "lw": (4, False),
+          "lbu": (1, False), "lhu": (2, False)}
+
+_STORES = {"sb": 1, "sh": 2, "sw": 4}
+
+
+class Rv32iMachine:
+    """Architectural RV32I state machine driven one instruction at a time."""
+
+    def __init__(self, program: RiscvProgram):
+        image = load_image(program.data)
+        self.program = program
+        self.memory = dict(image.memory)
+        self.regs = [0] * 32
+        self.regs[2] = (program.sp if program.sp is not None
+                        else DEFAULT_STACK_TOP) & WORD_MASK
+        self.pc = (program.entry if program.entry is not None
+                   else image.entry) & WORD_MASK
+        self.steps = 0
+        self.halted = False
+        self.exit_code: int | None = None
+
+    def _read(self, addr: int, size: int) -> int:
+        mem = self.memory
+        return int.from_bytes(
+            bytes(mem.get((addr + i) & WORD_MASK, 0) for i in range(size)),
+            "little",
+        )
+
+    def _write(self, addr: int, value: int, size: int) -> None:
+        for i in range(size):
+            self.memory[(addr + i) & WORD_MASK] = (value >> (8 * i)) & 0xFF
+
+    def step(self) -> tuple[Instruction, StepState] | None:
+        """Retire one instruction; ``None`` if already halted."""
+        if self.halted:
+            return None
+        name = self.program.name
+        if self.steps >= self.program.max_instructions:
+            raise TraceError(
+                f"riscv program {name!r}: exceeded "
+                f"{self.program.max_instructions} instructions"
+            )
+        pc = self.pc
+        if pc % 4:
+            raise TraceError(f"riscv program {name!r}: misaligned pc {pc:#x}")
+        word = self._read(pc, 4)
+        try:
+            instr = decode(word)
+        except IllegalInstruction as exc:
+            raise IllegalInstruction(
+                f"riscv program {name!r}: pc {pc:#x}: {exc}"
+            ) from exc
+
+        m = instr.mnemonic
+        regs = self.regs
+        a = regs[instr.rs1]
+        b = regs[instr.rs2]
+        imm = instr.imm
+        next_pc: int | None = (pc + 4) & WORD_MASK
+        rd_value: int | None = None
+        mem_addr: int | None = None
+        mem_value: int | None = None
+
+        if m in _ALU:
+            rd_value = _ALU[m](a, b)
+        elif m in _ALU_IMM:
+            rd_value = _ALU[_ALU_IMM[m]](a, imm & WORD_MASK)
+        elif m == "lui":
+            rd_value = (imm << 12) & WORD_MASK
+        elif m == "auipc":
+            rd_value = (pc + (imm << 12)) & WORD_MASK
+        elif m == "jal":
+            rd_value = (pc + 4) & WORD_MASK
+            next_pc = (pc + imm) & WORD_MASK
+        elif m == "jalr":
+            rd_value = (pc + 4) & WORD_MASK
+            next_pc = (a + imm) & WORD_MASK & ~1
+        elif m in _BRANCH:
+            if _BRANCH[m](a, b):
+                next_pc = (pc + imm) & WORD_MASK
+        elif m in _LOADS:
+            size, sign = _LOADS[m]
+            mem_addr = (a + imm) & WORD_MASK
+            value = self._read(mem_addr, size)
+            if sign and value & (1 << (8 * size - 1)):
+                value -= 1 << (8 * size)
+            rd_value = value & WORD_MASK
+        elif m in _STORES:
+            size = _STORES[m]
+            mem_addr = (a + imm) & WORD_MASK
+            mem_value = b & ((1 << (8 * size)) - 1)
+            self._write(mem_addr, mem_value, size)
+        elif m == "fence":
+            pass
+        elif m == "ebreak":
+            self.halted = True
+            next_pc = None
+        elif m == "ecall":
+            syscall = regs[17]
+            if syscall != EXIT_SYSCALL:
+                raise TraceError(
+                    f"riscv program {name!r}: pc {pc:#x}: "
+                    f"unsupported syscall {syscall}"
+                )
+            self.halted = True
+            self.exit_code = regs[10]
+            next_pc = None
+        else:  # pragma: no cover - every mnemonic is handled above
+            raise TraceError(f"unhandled mnemonic {m!r}")
+
+        rd: int | None = None
+        if rd_value is not None and instr.rd != 0:
+            rd = instr.rd
+            regs[rd] = rd_value
+        if rd is None:
+            rd_value = None
+        if next_pc is not None:
+            self.pc = next_pc
+        self.steps += 1
+        record = StepState(
+            index=self.steps - 1, pc=pc, word=word, asm=disassemble(instr),
+            rd=rd, rd_value=rd_value, mem_addr=mem_addr,
+            mem_value=mem_value, next_pc=next_pc,
+        )
+        return instr, record
+
+
+def state_trace(program: RiscvProgram) -> Iterator[StepState]:
+    """Yield the per-instruction architectural state trace of ``program``."""
+    machine = Rv32iMachine(program)
+    while not machine.halted:
+        stepped = machine.step()
+        assert stepped is not None
+        yield stepped[1]
+
+
+#: RV32I mnemonic -> mini-ISA micro-opcode for the pipeline model.
+_ALU_MICRO = {
+    "add": Opcode.ADD, "addi": Opcode.ADD, "sub": Opcode.SUB,
+    "and": Opcode.AND, "andi": Opcode.AND, "or": Opcode.OR,
+    "ori": Opcode.OR, "xor": Opcode.XOR, "xori": Opcode.XOR,
+    "sll": Opcode.SHL, "slli": Opcode.SHL, "srl": Opcode.SHR,
+    "srli": Opcode.SHR, "sra": Opcode.SHR, "srai": Opcode.SHR,
+    "slt": Opcode.CMPLT, "slti": Opcode.CMPLT, "sltu": Opcode.CMPLT,
+    "sltiu": Opcode.CMPLT, "lui": Opcode.LI, "auipc": Opcode.LI,
+}
+
+_BRANCH_MICRO = {"beq": Opcode.BEQ, "bne": Opcode.BNE, "blt": Opcode.BLT,
+                 "bge": Opcode.BGE, "bltu": Opcode.BLT, "bgeu": Opcode.BGE}
+
+#: ABI link registers: jumps writing these are calls, jumps returning
+#: through them are returns (the standard RISC-V return-address-stack hint).
+_LINK_REGS = (1, 5)
+
+
+def _micro_op(index: int, instr: Instruction, record: StepState) -> MicroOp | None:
+    """Map one retired RV32I instruction onto the pipeline's micro-op ISA.
+
+    Writes to ``x0`` become ``dest=None`` (the mini ISA has no hardwired
+    zero register); micro-ops carry no golden values — RV32I correctness
+    is pinned by the state-trace harness, not the 64-bit datapath checks.
+    """
+    m = instr.mnemonic
+    pc = record.pc
+    dest = record.rd
+    if m in _ALU_MICRO:
+        srcs: tuple[int, ...] = ()
+        if m in ("lui", "auipc"):
+            srcs = ()
+        elif instr.format == "r":
+            srcs = (instr.rs1, instr.rs2)
+        else:
+            srcs = (instr.rs1,)
+        return MicroOp(index, _ALU_MICRO[m], dest=dest, srcs=srcs,
+                       imm=instr.imm, pc=pc)
+    if m in _LOADS:
+        return MicroOp(index, Opcode.LD, dest=dest, srcs=(instr.rs1,),
+                       imm=instr.imm, pc=pc, mem_addr=record.mem_addr)
+    if m in _STORES:
+        return MicroOp(index, Opcode.ST, srcs=(instr.rs2, instr.rs1),
+                       imm=instr.imm, pc=pc, mem_addr=record.mem_addr)
+    if m in _BRANCH_MICRO:
+        target = (pc + instr.imm) & WORD_MASK
+        taken = record.next_pc == target and record.next_pc != (pc + 4) & WORD_MASK
+        return MicroOp(index, _BRANCH_MICRO[m], srcs=(instr.rs1, instr.rs2),
+                       pc=pc, taken=taken, target=target)
+    if m == "jal":
+        opcode = Opcode.CALL if instr.rd in _LINK_REGS else Opcode.JMP
+        return MicroOp(index, opcode, pc=pc, taken=True, target=record.next_pc)
+    if m == "jalr":
+        if instr.rd == 0 and instr.rs1 in _LINK_REGS:
+            opcode = Opcode.RET
+        elif instr.rd in _LINK_REGS:
+            opcode = Opcode.CALL
+        else:
+            opcode = Opcode.JMP
+        return MicroOp(index, opcode, srcs=(instr.rs1,), pc=pc,
+                       taken=True, target=record.next_pc)
+    if m == "fence":
+        return MicroOp(index, Opcode.NOP, pc=pc)
+    # ecall/ebreak: the halting instruction is not part of the trace,
+    # mirroring how the mini-ISA interpreter drops HALT.
+    return None
+
+
+def run_riscv_program(program: RiscvProgram,
+                      trace_name: str | None = None) -> tuple[Trace, Rv32iMachine]:
+    """Execute ``program`` to completion; return (trace, final machine).
+
+    Raises
+    ------
+    TraceError
+        If the program exceeds its instruction budget, executes an
+        illegal instruction, or makes an unsupported syscall.
+    """
+    machine = Rv32iMachine(program)
+    ops: list[MicroOp] = []
+    while not machine.halted:
+        stepped = machine.step()
+        assert stepped is not None
+        instr, record = stepped
+        op = _micro_op(len(ops), instr, record)
+        if op is not None:
+            ops.append(op)
+    trace = Trace(
+        name=trace_name or program.name,
+        ops=ops,
+        source="riscv",
+        metadata={
+            "program_sha256": program.sha256,
+            "instructions_executed": machine.steps,
+            "exit_code": machine.exit_code,
+        },
+    )
+    return trace, machine
+
+
+@dataclass(frozen=True)
+class StateDivergence:
+    """First point where two state traces disagree."""
+
+    index: int
+    field: str
+    expected: object
+    actual: object
+    asm: str
+
+    def __str__(self) -> str:
+        return (
+            f"first divergence at instruction #{self.index} ({self.asm}): "
+            f"{self.field} expected {self.expected!r}, got {self.actual!r}"
+        )
+
+
+def diff_state_traces(expected: Iterable[StepState],
+                      actual: Iterable[StepState]) -> StateDivergence | None:
+    """Compare two state traces; return the first divergence, or ``None``.
+
+    Comparison is per-instruction and per-field, so a decode or
+    semantics bug is reported at the exact instruction that first
+    diverged rather than as a blanket mismatch.
+    """
+    expected = list(expected)
+    actual = list(actual)
+    for index, (want, got) in enumerate(zip(expected, actual)):
+        want_d, got_d = want.to_dict(), got.to_dict()
+        for name in StepState._FIELDS:
+            if want_d[name] != got_d[name]:
+                return StateDivergence(index=index, field=name,
+                                       expected=want_d[name],
+                                       actual=got_d[name], asm=want.asm)
+    if len(expected) != len(actual):
+        index = min(len(expected), len(actual))
+        return StateDivergence(index=index, field="length",
+                               expected=len(expected), actual=len(actual),
+                               asm="<end of trace>")
+    return None
+
+
+__all__ = [
+    "DEFAULT_MAX_INSTRUCTIONS",
+    "DEFAULT_STACK_TOP",
+    "EXIT_SYSCALL",
+    "LoadedImage",
+    "RiscvProgram",
+    "Rv32iMachine",
+    "StateDivergence",
+    "StepState",
+    "diff_state_traces",
+    "load_image",
+    "run_riscv_program",
+    "state_trace",
+]

@@ -28,7 +28,7 @@ class Trace:
     ops:
         The dynamic micro-ops, ``ops[i].index == i``.
     source:
-        Provenance: ``"synthetic"`` or ``"interpreter"``.
+        Provenance: ``"synthetic"``, ``"interpreter"`` or ``"riscv"``.
     metadata:
         Free-form generator parameters (seed, profile name, ...).
     """

@@ -1,0 +1,253 @@
+"""Builders for the committed RV32I binary fixtures.
+
+The container has no RISC-V cross-compiler, so the fixtures under
+``examples/rv32i/`` are assembled with the repo's own encoder: a tiny
+label-resolving assembler on top of :func:`repro.isa.rv32i.encode`,
+plus a minimal ELF32 writer so one fixture exercises the ELF segment
+loader.  ``python tests/test_golden.py --regen`` rewrites the binaries
+and their golden state traces together, so fixture and golden can never
+drift apart silently.
+
+These are *real* programs in the sense that matters: genuine RV32I
+machine code with data sections, loops, function calls and syscalls,
+indistinguishable to the loader/interpreter from compiler output.
+"""
+
+import pathlib
+
+from repro.isa.rv32i import Instruction, encode
+
+#: Where the committed binaries live (they double as example inputs for
+#: ``examples/rv32i_campaign.toml``).
+FIXTURE_DIR = pathlib.Path(__file__).parent.parent / "examples" / "rv32i"
+
+# ABI register numbers used by the fixtures.
+RA, SP = 1, 2
+T0, T1, T2 = 5, 6, 7
+A0, A1, A2, A3 = 10, 11, 12, 13
+A7 = 17
+T3, T4, T5, T6 = 28, 29, 30, 31
+
+EXIT = 93
+
+
+class Assembler:
+    """Two-pass assembler: instructions, labels and raw data blobs.
+
+    String immediates name labels.  Branch/jump immediates resolve to
+    pc-relative offsets; every other format resolves to the label's
+    absolute address (for materializing data addresses with ``addi``).
+    """
+
+    _RELATIVE = {"beq", "bne", "blt", "bge", "bltu", "bgeu", "jal"}
+
+    def __init__(self, base: int = 0):
+        self.base = base
+        self._items: list = []
+
+    def op(self, mnemonic: str, **fields) -> None:
+        self._items.append(("instr", mnemonic, fields))
+
+    def label(self, name: str) -> None:
+        self._items.append(("label", name))
+
+    def data(self, blob: bytes) -> None:
+        self._items.append(("bytes", bytes(blob)))
+
+    def words(self, *values: int) -> None:
+        for value in values:
+            self.data((value & 0xFFFF_FFFF).to_bytes(4, "little"))
+
+    def assemble(self) -> bytes:
+        addresses: dict[str, int] = {}
+        address = self.base
+        for item in self._items:
+            if item[0] == "label":
+                addresses[item[1]] = address
+            elif item[0] == "instr":
+                address += 4
+            else:
+                address += len(item[1])
+        out = bytearray()
+        address = self.base
+        for item in self._items:
+            if item[0] == "label":
+                continue
+            if item[0] == "bytes":
+                out += item[1]
+                address += len(item[1])
+                continue
+            _, mnemonic, fields = item
+            fields = dict(fields)
+            if isinstance(fields.get("imm"), str):
+                target = addresses[fields["imm"]]
+                fields["imm"] = (target - address
+                                 if mnemonic in self._RELATIVE else target)
+            out += encode(Instruction(mnemonic, **fields)).to_bytes(4, "little")
+            address += 4
+        return bytes(out)
+
+
+def elf32(segments: list[tuple[int, bytes]], entry: int) -> bytes:
+    """A minimal little-endian ELF32 RISC-V executable (PT_LOAD only)."""
+    def le(value: int, size: int) -> bytes:
+        return int(value).to_bytes(size, "little")
+
+    ehsize, phentsize = 52, 32
+    offset = ehsize + phentsize * len(segments)
+    phdrs, payload = b"", b""
+    for vaddr, data in segments:
+        phdrs += (le(1, 4) + le(offset, 4) + le(vaddr, 4) + le(vaddr, 4)
+                  + le(len(data), 4) + le(len(data), 4) + le(7, 4)
+                  + le(4, 4))
+        payload += data
+        offset += len(data)
+    ident = b"\x7fELF" + bytes([1, 1, 1, 0]) + b"\x00" * 8
+    ehdr = (ident + le(2, 2) + le(243, 2) + le(1, 4) + le(entry, 4)
+            + le(ehsize, 4) + le(0, 4) + le(0, 4) + le(ehsize, 2)
+            + le(phentsize, 2) + le(len(segments), 2) + le(0, 2)
+            + le(0, 2) + le(0, 2))
+    assert len(ehdr) == ehsize
+    return ehdr + phdrs + payload
+
+
+def build_loop() -> bytes:
+    """Countdown loop: a0 = 10 + 9 + ... + 1 = 55, then exit(a0)."""
+    a = Assembler()
+    a.op("addi", rd=A0, rs1=0, imm=0)
+    a.op("addi", rd=T0, rs1=0, imm=10)
+    a.label("loop")
+    a.op("add", rd=A0, rs1=A0, rs2=T0)
+    a.op("addi", rd=T0, rs1=T0, imm=-1)
+    a.op("bne", rs1=T0, rs2=0, imm="loop")
+    a.op("addi", rd=A7, rs1=0, imm=EXIT)
+    a.op("ecall")
+    return a.assemble()
+
+
+def build_memcpy() -> bytes:
+    """ELF fixture: byte-wise memcpy of 24 bytes, then word checksum.
+
+    Code at 0x1000 (the entry), source data at 0x2000, destination in
+    previously-untouched memory at 0x3000 — exercising the ELF segment
+    loader, ``lui`` address materialization and mixed-width accesses.
+    """
+    code = Assembler(base=0x1000)
+    code.op("lui", rd=A1, imm=0x2)        # src = 0x2000
+    code.op("lui", rd=A2, imm=0x3)        # dst = 0x3000
+    code.op("addi", rd=A3, rs1=0, imm=24)
+    code.op("addi", rd=T0, rs1=0, imm=0)
+    code.label("copy")
+    code.op("add", rd=T1, rs1=A1, rs2=T0)
+    code.op("lbu", rd=T2, rs1=T1, imm=0)
+    code.op("add", rd=T3, rs1=A2, rs2=T0)
+    code.op("sb", rs1=T3, rs2=T2, imm=0)
+    code.op("addi", rd=T0, rs1=T0, imm=1)
+    code.op("blt", rs1=T0, rs2=A3, imm="copy")
+    code.op("addi", rd=A0, rs1=0, imm=0)  # checksum the copy word-wise
+    code.op("addi", rd=T0, rs1=0, imm=0)
+    code.label("sum")
+    code.op("add", rd=T1, rs1=A2, rs2=T0)
+    code.op("lw", rd=T2, rs1=T1, imm=0)
+    code.op("add", rd=A0, rs1=A0, rs2=T2)
+    code.op("addi", rd=T0, rs1=T0, imm=4)
+    code.op("blt", rs1=T0, rs2=A3, imm="sum")
+    code.op("addi", rd=A7, rs1=0, imm=EXIT)
+    code.op("ecall")
+    source = bytes(range(1, 25))
+    return elf32([(0x1000, code.assemble()), (0x2000, source)],
+                 entry=0x1000)
+
+
+def build_sort() -> bytes:
+    """Branchy bubble sort of 8 signed words stored after the code."""
+    a = Assembler()
+    a.op("addi", rd=A1, rs1=0, imm="arr")
+    a.op("addi", rd=A2, rs1=0, imm=8)
+    a.label("outer")
+    a.op("addi", rd=T0, rs1=0, imm=0)     # i = 0
+    a.op("addi", rd=T4, rs1=0, imm=0)     # swapped = 0
+    a.label("inner")
+    a.op("slli", rd=T1, rs1=T0, imm=2)
+    a.op("add", rd=T1, rs1=T1, rs2=A1)
+    a.op("lw", rd=T2, rs1=T1, imm=0)
+    a.op("lw", rd=T3, rs1=T1, imm=4)
+    a.op("bge", rs1=T3, rs2=T2, imm="noswap")
+    a.op("sw", rs1=T1, rs2=T3, imm=0)
+    a.op("sw", rs1=T1, rs2=T2, imm=4)
+    a.op("addi", rd=T4, rs1=0, imm=1)
+    a.label("noswap")
+    a.op("addi", rd=T0, rs1=T0, imm=1)
+    a.op("addi", rd=T5, rs1=A2, imm=-1)
+    a.op("blt", rs1=T0, rs2=T5, imm="inner")
+    a.op("bne", rs1=T4, rs2=0, imm="outer")
+    a.op("lw", rd=A0, rs1=A1, imm=0)      # a0 = min + max
+    a.op("lw", rd=T0, rs1=A1, imm=28)
+    a.op("add", rd=A0, rs1=A0, rs2=T0)
+    a.op("addi", rd=A7, rs1=0, imm=EXIT)
+    a.op("ecall")
+    a.label("arr")
+    a.words(42, -7, 19, 3, 88, -100, 55, 0)
+    return a.assemble()
+
+
+def build_mix() -> bytes:
+    """Load/store-width and ALU mix, plus a jal/jalr function call."""
+    a = Assembler()
+    a.op("addi", rd=A1, rs1=0, imm=256)   # scratch, past the image
+    a.op("lui", rd=T0, imm=0x12345)
+    a.op("addi", rd=T0, rs1=T0, imm=0x678)
+    a.op("sw", rs1=A1, rs2=T0, imm=0)
+    a.op("lb", rd=T1, rs1=A1, imm=1)      # 0x56
+    a.op("lbu", rd=T2, rs1=A1, imm=3)     # 0x12
+    a.op("lh", rd=T3, rs1=A1, imm=0)      # 0x5678
+    a.op("lhu", rd=T4, rs1=A1, imm=2)     # 0x1234
+    a.op("sh", rs1=A1, rs2=T3, imm=4)
+    a.op("sb", rs1=A1, rs2=T2, imm=6)
+    a.op("lw", rd=A0, rs1=A1, imm=4)
+    a.op("xor", rd=A0, rs1=A0, rs2=T0)
+    a.op("srai", rd=T5, rs1=T0, imm=8)
+    a.op("add", rd=A0, rs1=A0, rs2=T5)
+    a.op("sltu", rd=T6, rs1=T1, rs2=T2)
+    a.op("add", rd=A0, rs1=A0, rs2=T6)
+    a.op("srli", rd=T5, rs1=T0, imm=16)
+    a.op("sub", rd=A0, rs1=A0, rs2=T5)
+    a.op("and", rd=T1, rs1=T0, rs2=T3)
+    a.op("or", rd=A0, rs1=A0, rs2=T1)
+    a.op("slti", rd=T6, rs1=T5, imm=-5)
+    a.op("xori", rd=A0, rs1=A0, imm=0x55)
+    a.op("sll", rd=T1, rs1=T6, rs2=T4)
+    a.op("add", rd=A0, rs1=A0, rs2=T1)
+    a.op("fence")
+    a.op("jal", rd=RA, imm="double")      # call
+    a.op("addi", rd=A7, rs1=0, imm=EXIT)
+    a.op("ecall")
+    a.label("double")
+    a.op("add", rd=A0, rs1=A0, rs2=A0)
+    a.op("jalr", rd=0, rs1=RA, imm=0)     # ret
+    return a.assemble()
+
+
+#: name -> (builder, committed file name).  The ``.elf``/``.bin`` split
+#: keeps both loader paths exercised by the same fixture set.
+PROGRAMS = {
+    "loop": (build_loop, "loop.bin"),
+    "memcpy": (build_memcpy, "memcpy.elf"),
+    "sort": (build_sort, "sort.bin"),
+    "mix": (build_mix, "mix.bin"),
+}
+
+
+def fixture_path(name: str) -> pathlib.Path:
+    return FIXTURE_DIR / PROGRAMS[name][1]
+
+
+def write_fixtures(directory: pathlib.Path = FIXTURE_DIR) -> list[pathlib.Path]:
+    """(Re)write every committed binary; returns the paths written."""
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, (builder, filename) in PROGRAMS.items():
+        path = directory / filename
+        path.write_bytes(builder())
+        written.append(path)
+    return written

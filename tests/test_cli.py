@@ -13,7 +13,7 @@ class TestVersion:
             main(["--version"])
         assert excinfo.value.code == 0
         assert f"repro {repro.__version__}" in capsys.readouterr().out
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
 
 class TestRunSpec:
@@ -60,6 +60,24 @@ class TestRunSpec:
         assert "jobs:" in out and "artifacts:   table1, fig11b" in out
         assert "simulated" not in out
 
+    def test_dry_run_lists_trace_origins(self, tmp_path, capsys):
+        """--dry-run names every planned trace and where it comes from:
+        synthetic profile or riscv program path."""
+        import rv32i_programs
+        from repro.experiments import RiscvProgramRef
+
+        binary = tmp_path / "loop.bin"
+        binary.write_bytes(rv32i_programs.build_loop())
+        path = self.write_spec(
+            tmp_path, seeds_per_profile=2,
+            riscv=(RiscvProgramRef("loop", str(binary)),))
+        assert main(["run", str(path), "--no-cache", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "+ 1 riscv program" in out
+        assert "kernel-like/seed0  (synthetic profile 'kernel-like')" in out
+        assert "kernel-like/seed1  (synthetic profile 'kernel-like')" in out
+        assert f"loop  (riscv program {binary})" in out
+
     def test_bad_spec_file_exits_2(self, tmp_path, capsys):
         path = tmp_path / "broken.toml"
         path.write_text('artifacts = ["table2"]\n')
@@ -77,11 +95,16 @@ class TestRunSpec:
                      "--dry-run"]) == 0
         assert main(["run", "examples/yield_campaign.toml",
                      "--dry-run"]) == 0
+        assert main(["run", "examples/rv32i_campaign.toml",
+                     "--dry-run"]) == 0
         out = capsys.readouterr().out
         assert "experiment:  table1" in out
         assert "experiment:  lowvcc-campaign" in out
         assert "experiment:  yield-campaign" in out
         assert "montecarlo:" in out
+        assert "experiment:  rv32i-campaign" in out
+        assert "+ 4 riscv programs" in out
+        assert "(riscv program" in out
 
 
 class TestMonteCarloCli:

@@ -20,20 +20,27 @@ Regenerate (after an *intentional* simulator change) with::
 import json
 import math
 import pathlib
+import sys
 
 import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+import rv32i_programs  # noqa: E402  (sibling fixture-builder module)
 
 from repro.analysis.sweep import SweepSettings, VccSweep
 from repro.analysis.table1 import build_table1
 from repro.engine import ParallelRunner, QueueBackend, ResultCache
-from repro.experiments import Experiment, ExperimentSpec
+from repro.experiments import Experiment, ExperimentSpec, RiscvProgramRef
 from repro.montecarlo import ImportanceSpec, MonteCarloSpec, \
     deep_tail_rows, montecarlo_jobs, yield_curve_rows
 from repro.workloads.profiles import KERNEL_LIKE, SPECINT_LIKE
+from repro.workloads.riscv import RiscvProgram, StepState, \
+    diff_state_traces, run_riscv_program, state_trace
 
 pytestmark = pytest.mark.engine
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+RV32I_GOLDEN_DIR = GOLDEN_DIR / "rv32i"
 
 #: The golden population: two profiles, one seed each, short traces —
 #: big enough to exercise aggregation across traces, small enough that
@@ -51,6 +58,26 @@ GOLDEN_SPEC = ExperimentSpec(
     vcc_mv=(GOLDEN_VCC,),
     table1_vcc_mv=GOLDEN_VCC,
     artifacts=("table1", "fig11b"),
+)
+
+
+#: The mixed-origin campaign: one synthetic profile plus two of the
+#: committed RV32I binaries (one flat image, one ELF).  Locks that real
+#: compiled programs flow through sharding, caching and every backend
+#: exactly like synthetic traces — and that their Table-1-style rows
+#: are bit-identical everywhere.
+GOLDEN_RISCV_SPEC = ExperimentSpec(
+    name="golden-riscv",
+    profiles=(KERNEL_LIKE.name,),
+    trace_length=600,
+    vcc_mv=(GOLDEN_VCC,),
+    table1_vcc_mv=GOLDEN_VCC,
+    artifacts=("table1", "fig11b"),
+    riscv=(
+        RiscvProgramRef("loop", str(rv32i_programs.fixture_path("loop"))),
+        RiscvProgramRef("memcpy",
+                        str(rv32i_programs.fixture_path("memcpy"))),
+    ),
 )
 
 
@@ -99,8 +126,27 @@ def compute_deep_tail(runner: ParallelRunner | None = None) -> list:
                           GOLDEN_DEEP_MC.confidence)
 
 
+def compute_riscv_artifacts(runner: ParallelRunner | None = None) -> dict:
+    """Run the mixed synthetic+riscv golden campaign end to end."""
+    experiment = Experiment(GOLDEN_RISCV_SPEC, runner=runner)
+    experiment.run()
+    rendered = experiment.artifacts()
+    return {"table1": rendered["table1"],
+            "fig11b_500mv": rendered["fig11b"][0]}
+
+
+def fixture_program(name: str) -> RiscvProgram:
+    return RiscvProgram.from_file(rv32i_programs.fixture_path(name),
+                                  name=name)
+
+
 def load_golden(name: str):
     return json.loads((GOLDEN_DIR / f"{name}.json").read_text("utf-8"))
+
+
+def load_rv32i_golden(name: str) -> dict:
+    return json.loads(
+        (RV32I_GOLDEN_DIR / f"{name}.json").read_text("utf-8"))
 
 
 def assert_matches_golden(actual, golden, path: str = "") -> None:
@@ -260,6 +306,86 @@ class TestGoldenExperiment:
         assert Experiment(via_json).plan_keys() == reference
 
 
+class TestGoldenRv32iStateTraces:
+    """Every committed binary's architectural state, locked step by step.
+
+    The goldens under ``goldens/rv32i/`` record one :class:`StepState`
+    per retired instruction — pc, fetched word, register write, memory
+    effect, next pc.  A semantic change anywhere in the decoder or the
+    interpreter shows up as a named first-divergent instruction, not as
+    a distant downstream artifact diff.
+    """
+
+    @pytest.mark.parametrize("name", sorted(rv32i_programs.PROGRAMS))
+    def test_state_trace_matches_golden(self, name):
+        golden = load_rv32i_golden(name)
+        program = fixture_program(name)
+        assert program.sha256 == golden["sha256"], \
+            "committed binary differs from the one the golden was traced on"
+        expected = [StepState.from_dict(step) for step in golden["steps"]]
+        actual = list(state_trace(program))
+        divergence = diff_state_traces(expected, actual)
+        assert divergence is None, str(divergence)
+
+    @pytest.mark.parametrize("name", sorted(rv32i_programs.PROGRAMS))
+    def test_fixture_runs_to_recorded_exit(self, name):
+        golden = load_rv32i_golden(name)
+        _, machine = run_riscv_program(fixture_program(name))
+        assert machine.halted
+        assert machine.exit_code == golden["exit_code"]
+        assert machine.steps == golden["instructions"]
+
+    @pytest.mark.parametrize("name", sorted(rv32i_programs.PROGRAMS))
+    def test_committed_binary_matches_builder(self, name):
+        builder, filename = rv32i_programs.PROGRAMS[name]
+        committed = rv32i_programs.fixture_path(name).read_bytes()
+        assert committed == builder(), \
+            f"{filename} drifted from its builder; rerun --regen"
+
+
+class TestGoldenRiscvExperiment:
+    """Mixed synthetic+riscv rows must reproduce through every backend."""
+
+    def test_serial_matches_golden(self):
+        artifacts = compute_riscv_artifacts()
+        assert_matches_golden(artifacts["table1"],
+                              load_golden("riscv_table1"), "riscv_table1")
+
+    def test_pool_matches_golden(self, tmp_path):
+        runner = ParallelRunner(workers=2,
+                                cache=ResultCache(root=tmp_path))
+        artifacts = compute_riscv_artifacts(runner)
+        assert runner.stats.sharded > 0  # riscv traces shard like any other
+        assert_matches_golden(artifacts["table1"],
+                              load_golden("riscv_table1"), "riscv_table1")
+
+    def test_queue_matches_golden(self, tmp_path):
+        runner = TestGoldenQueue.queue_runner(
+            tmp_path, cache=ResultCache(root=tmp_path / "cache"))
+        artifacts = compute_riscv_artifacts(runner)
+        assert runner.stats.requeued == 0
+        assert_matches_golden(artifacts["table1"],
+                              load_golden("riscv_table1"), "riscv_table1")
+
+    def test_warm_cache_rerun_simulates_nothing(self, tmp_path):
+        cold = ParallelRunner(workers=2, cache=ResultCache(root=tmp_path))
+        compute_riscv_artifacts(cold)
+        warm = ParallelRunner(workers=1, cache=ResultCache(root=tmp_path))
+        artifacts = compute_riscv_artifacts(warm)
+        assert warm.stats.simulated == 0  # program-byte keys hit the cache
+        assert_matches_golden(artifacts["table1"],
+                              load_golden("riscv_table1"), "riscv_table1")
+
+    def test_spec_round_trips_preserve_job_keys(self):
+        via_toml = ExperimentSpec.from_toml(GOLDEN_RISCV_SPEC.to_toml())
+        via_json = ExperimentSpec.from_json(GOLDEN_RISCV_SPEC.to_json())
+        assert via_toml == GOLDEN_RISCV_SPEC
+        assert via_json == GOLDEN_RISCV_SPEC
+        reference = Experiment(GOLDEN_RISCV_SPEC).plan_keys()
+        assert Experiment(via_toml).plan_keys() == reference
+        assert Experiment(via_json).plan_keys() == reference
+
+
 class TestGoldenYieldCurve:
     """The die-sampling slice must reproduce bit-for-bit everywhere."""
 
@@ -334,19 +460,33 @@ class TestGoldenDeepTail:
 
 def _regenerate() -> None:  # pragma: no cover - maintenance entry point
     GOLDEN_DIR.mkdir(exist_ok=True)
+    RV32I_GOLDEN_DIR.mkdir(exist_ok=True)
+    # Rebuild the binaries first so fixtures and goldens move together.
+    for path in rv32i_programs.write_fixtures():
+        print(f"wrote {path}")
     artifacts = compute_artifacts()
     artifacts["yield_curve_500mv"] = compute_yield_curve()
     artifacts["deep_tail_500mv"] = compute_deep_tail()
+    artifacts["riscv_table1"] = compute_riscv_artifacts()["table1"]
     for name, data in artifacts.items():
         path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        print(f"wrote {path}")
+    for name in sorted(rv32i_programs.PROGRAMS):
+        program = fixture_program(name)
+        steps = [record.to_dict() for record in state_trace(program)]
+        _, machine = run_riscv_program(program)
+        data = {"program": name, "sha256": program.sha256,
+                "exit_code": machine.exit_code,
+                "instructions": machine.steps, "steps": steps}
+        path = RV32I_GOLDEN_DIR / f"{name}.json"
         path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
                         encoding="utf-8")
         print(f"wrote {path}")
 
 
 if __name__ == "__main__":  # pragma: no cover
-    import sys
-
     if "--regen" in sys.argv:
         _regenerate()
     else:

@@ -1,0 +1,202 @@
+"""Property and unit tests for the RV32I decoder/encoder.
+
+Two hypothesis properties lock the codec down:
+
+* encode -> decode -> encode is an identity on every legal
+  :class:`Instruction`, across all nine encoding formats;
+* every 32-bit word either decodes to an instruction that re-encodes to
+  the *same* word, or raises a typed :class:`IllegalInstruction` — there
+  is no silent immediate wrap-around or field aliasing anywhere in the
+  2^32 space.
+
+Unit tests pin a handful of encodings against independently-known
+assembler output, the strict-decode rejections (reserved funct7 bits,
+SYSTEM with operand fields set, FENCE with funct3 != 0) and the
+constructor validation that keeps one-word-one-Instruction true.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceError
+from repro.isa.rv32i import (
+    MNEMONICS,
+    IllegalInstruction,
+    Instruction,
+    _FORMAT_FIELDS,
+    _IMM_RANGE,
+    _SPECS,
+    assemble_words,
+    decode,
+    disassemble,
+    encode,
+)
+
+_REG = st.integers(0, 31)
+
+
+@st.composite
+def instructions(draw) -> Instruction:
+    """A uniformly random *legal* RV32I instruction."""
+    mnemonic = draw(st.sampled_from(MNEMONICS))
+    fmt = _SPECS[mnemonic][0]
+    fields = {}
+    encoded = _FORMAT_FIELDS[fmt]
+    for reg_field in ("rd", "rs1", "rs2"):
+        if reg_field in encoded:
+            fields[reg_field] = draw(_REG)
+    if "imm" in encoded:
+        lo, hi = _IMM_RANGE[fmt]
+        if fmt in ("b", "j"):
+            fields["imm"] = draw(st.integers(lo // 2, hi // 2)) * 2
+        else:
+            fields["imm"] = draw(st.integers(lo, hi))
+    return Instruction(mnemonic, **fields)
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=400)
+    @given(instructions())
+    def test_encode_decode_encode_identity(self, instr):
+        word = encode(instr)
+        assert 0 <= word < 2**32
+        assert decode(word) == instr
+        assert encode(decode(word)) == word
+
+    @settings(max_examples=1000)
+    @given(st.integers(0, 2**32 - 1))
+    def test_every_word_decodes_legally_or_raises(self, word):
+        try:
+            instr = decode(word)
+        except IllegalInstruction:
+            return
+        # Legal decode: fully validated fields, and the exact same word
+        # back — any immediate truncation or aliasing would break this.
+        assert instr.mnemonic in MNEMONICS
+        lo, hi = _IMM_RANGE.get(instr.format, (0, 0))
+        assert lo <= instr.imm <= hi
+        assert encode(instr) == word
+
+    def test_corner_immediates_round_trip(self):
+        """Deterministic sweep: every mnemonic at its immediate extremes."""
+        for mnemonic in MNEMONICS:
+            fmt = _SPECS[mnemonic][0]
+            if "imm" not in _FORMAT_FIELDS[fmt]:
+                corners = [0]
+            else:
+                lo, hi = _IMM_RANGE[fmt]
+                step = 2 if fmt in ("b", "j") else 1
+                corners = sorted({lo, lo + step, 0, hi - step, hi})
+            for imm in corners:
+                kwargs = {"imm": imm} if imm or fmt != "sys" else {}
+                instr = Instruction(mnemonic, **kwargs) if fmt == "sys" \
+                    else Instruction(mnemonic, imm=imm)
+                assert decode(encode(instr)) == instr
+
+
+class TestKnownEncodings:
+    """Words cross-checked against standard RISC-V assembler output."""
+
+    KNOWN = [
+        (Instruction("addi", rd=5, rs1=0, imm=10), 0x00A00293),
+        (Instruction("add", rd=1, rs1=2, rs2=3), 0x003100B3),
+        (Instruction("lui", rd=1, imm=0x12345), 0x123450B7),
+        (Instruction("jal", rd=1, imm=8), 0x008000EF),
+        (Instruction("sw", rs1=1, rs2=2, imm=8), 0x0020A423),
+        (Instruction("beq", rs1=1, rs2=2, imm=-4), 0xFE208EE3),
+        (Instruction("srai", rd=1, rs1=2, imm=4), 0x40415093),
+        (Instruction("jalr", rd=0, rs1=1, imm=0), 0x00008067),
+        (Instruction("ecall"), 0x00000073),
+        (Instruction("ebreak"), 0x00100073),
+        (Instruction("fence"), 0x0000000F),
+    ]
+
+    @pytest.mark.parametrize("instr,word", KNOWN,
+                             ids=[str(i) for i, _ in KNOWN])
+    def test_encodes_to_reference_word(self, instr, word):
+        assert encode(instr) == word
+        assert decode(word) == instr
+
+    def test_assemble_words_is_little_endian_concat(self):
+        instrs = [Instruction("ecall"), Instruction("ebreak")]
+        assert assemble_words(instrs) == bytes.fromhex("7300000073001000")
+
+
+class TestStrictDecode:
+    """Reserved encodings must raise, never decode approximately."""
+
+    ILLEGAL_WORDS = {
+        "all-zero": 0x00000000,
+        "all-ones": 0xFFFFFFFF,
+        "srai-bad-funct7": 0x20415093,      # funct7=0x10 on an OP-IMM shift
+        "add-bad-funct7": 0x023100B3,       # funct7=0x01 (that would be mul)
+        "ecall-with-rd": 0x000000F3,        # SYSTEM must have rd=0
+        "ecall-with-rs1": 0x00008073,       # ... and rs1=0
+        "system-bad-imm": 0x00200073,       # imm12=2 is neither ecall/ebreak
+        "fence-bad-funct3": 0x0000100F,     # fence.i is not in RV32I base
+        "store-bad-funct3": 0x0020B023,     # funct3=3: no 64-bit sd in RV32
+        "branch-bad-funct3": 0x0020A063,    # funct3=2 unused by branches
+        "amo-opcode": 0x0000002F,           # atomics are a different extension
+    }
+
+    @pytest.mark.parametrize("word", ILLEGAL_WORDS.values(),
+                             ids=list(ILLEGAL_WORDS))
+    def test_illegal_word_raises(self, word):
+        with pytest.raises(IllegalInstruction):
+            decode(word)
+
+    def test_out_of_range_word_raises(self):
+        with pytest.raises(IllegalInstruction):
+            decode(2**32)
+        with pytest.raises(IllegalInstruction):
+            decode(-1)
+
+    def test_illegal_instruction_is_a_trace_error(self):
+        assert issubclass(IllegalInstruction, TraceError)
+
+
+class TestConstructorValidation:
+    """One legal word, one Instruction: off-format fields must be 0."""
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(IllegalInstruction):
+            Instruction("mul", rd=1, rs1=2, rs2=3)
+
+    def test_register_out_of_range_rejected(self):
+        with pytest.raises(IllegalInstruction):
+            Instruction("add", rd=32, rs1=0, rs2=0)
+
+    def test_immediate_out_of_range_rejected(self):
+        with pytest.raises(IllegalInstruction):
+            Instruction("addi", rd=1, rs1=0, imm=2048)
+        with pytest.raises(IllegalInstruction):
+            Instruction("slli", rd=1, rs1=1, imm=32)
+        with pytest.raises(IllegalInstruction):
+            Instruction("lui", rd=1, imm=-1)
+
+    def test_odd_branch_offset_rejected(self):
+        with pytest.raises(IllegalInstruction):
+            Instruction("beq", rs1=1, rs2=2, imm=3)
+        with pytest.raises(IllegalInstruction):
+            Instruction("jal", rd=1, imm=7)
+
+    def test_off_format_fields_rejected(self):
+        with pytest.raises(IllegalInstruction):
+            Instruction("add", rd=1, rs1=2, rs2=3, imm=4)
+        with pytest.raises(IllegalInstruction):
+            Instruction("lui", rd=1, rs1=2, imm=0)
+        with pytest.raises(IllegalInstruction):
+            Instruction("ecall", rd=1)
+
+
+class TestDisassembly:
+    def test_formats(self):
+        assert disassemble(Instruction("add", rd=1, rs1=2, rs2=3)) == \
+            "add x1, x2, x3"
+        assert disassemble(Instruction("lw", rd=5, rs1=2, imm=-8)) == \
+            "lw x5, -8(x2)"
+        assert disassemble(Instruction("sw", rs1=2, rs2=5, imm=12)) == \
+            "sw x5, 12(x2)"
+        assert disassemble(Instruction("lui", rd=1, imm=0x12345)) == \
+            "lui x1, 0x12345"
+        assert str(Instruction("ecall")) == "ecall"
