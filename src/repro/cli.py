@@ -13,6 +13,10 @@ Subcommands
 ``cache``     inspect or clear the on-disk result cache
 ``queue``     inspect a queue spool / garbage-collect stale versions
 ``worker``    run a queue-backend worker against a spool directory
+``serve``     run the always-on HTTP/JSON experiment service
+``submit``    POST a spec file to a running service
+``status``    report a served campaign's state
+``results``   stream/export a served campaign's result rows
 
 ``repro run experiment.toml`` is the declarative front end: the spec
 file names a trace population, a Vcc grid, clock schemes, ablations,
@@ -55,6 +59,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import os
 import sys
 import warnings
@@ -77,6 +82,7 @@ from repro.engine.broker import (
     SpoolBroker,
     WorkerSupervisor,
     prune_stale_versions,
+    spool_status,
     worker_main,
 )
 from repro.errors import ConfigError
@@ -85,6 +91,7 @@ from repro.experiments.artifacts import ARTIFACTS
 from repro.memory.hierarchy import MemoryConfig
 from repro.montecarlo.importance import ImportanceSpec
 from repro.pipeline.core import CoreSetup, InOrderCore
+from repro.serve.cli import add_serve_subcommands, dispatch_serve
 from repro.workloads.kernels import KERNEL_BUILDERS, kernel_trace
 from repro.workloads.profiles import PROFILES_BY_NAME
 from repro.workloads.synthetic import SyntheticTraceGenerator
@@ -124,6 +131,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the flat ResultSet as JSON")
     run.add_argument("--dry-run", action="store_true",
                      help="print the campaign plan without simulating")
+    run.add_argument("--json", action="store_true",
+                     help="with --dry-run: emit the planned jobs (kind, "
+                          "trace origin, canonical key) as JSON — the "
+                          "same serializer behind the service's "
+                          "POST /v1/campaigns?dry_run=1")
     run.add_argument("--dies", type=int, default=None, metavar="N",
                      help="override the spec's montecarlo die count")
     run.add_argument("--samples", type=int, default=None, metavar="N",
@@ -247,6 +259,9 @@ def _build_parser() -> argparse.ArgumentParser:
     queue.add_argument("--gc", action="store_true",
                        help="delete stale version directories under the "
                             "spool root and report what was removed")
+    queue.add_argument("--json", action="store_true",
+                       help="emit per-version depth/age counts as JSON "
+                            "(the /v1/metrics queue data source)")
 
     worker = sub.add_parser(
         "worker", help="run a queue-backend worker",
@@ -276,6 +291,8 @@ def _build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--gc", action="store_true",
                         help="garbage-collect stale spool versions and "
                              "exit instead of serving")
+
+    add_serve_subcommands(sub)
     return parser
 
 
@@ -367,6 +384,13 @@ def _cmd_run(args) -> int:
                                  args.confidence, args.block,
                                  args.importance_shift)
     experiment = Experiment(spec, runner=_build_runner(args))
+    if args.dry_run and args.json:
+        print(json.dumps(experiment.plan_summary(), indent=2,
+                         sort_keys=True))
+        return 0
+    if args.json:
+        raise ConfigError("--json needs --dry-run (the run itself "
+                          "exports via --export-json)")
     if args.dry_run:
         jobs = experiment.plan()
         grid = spec.grid()
@@ -586,42 +610,35 @@ def _spool_gc(root) -> int:
 
 
 def _cmd_queue(args) -> int:
-    import pathlib
-
-    from repro.engine.cache import is_version_dir_name, version_tag
-
     root = args.queue or os.environ.get(QUEUE_DIR_ENV)
     if args.gc:
         return _spool_gc(root)
-    # Inspection is strictly read-only: no SpoolBroker (its constructor
-    # creates the whole spool tree), no directory creation — a typo'd
-    # path must not leave a real-looking empty spool behind.
-    if not root:
-        raise ConfigError(
-            "the queue backend needs a spool directory: pass --queue DIR "
-            f"or set ${QUEUE_DIR_ENV}")
-    path = pathlib.Path(root).expanduser()
-    if not path.is_dir():
-        raise ConfigError(f"queue directory {path} does not exist "
-                          f"(check ${QUEUE_DIR_ENV})")
-    spool = path / version_tag()
-    counts = {
-        "pending": len(list(spool.glob("pending/*.job"))),
-        "claimed": len(list(spool.glob("claimed/*.job"))),
-        "done": len(list(spool.glob("done/*.pkl"))),
-        "failed": len(list(spool.glob("failed/*.err"))),
-    }
-    stale = [child.name for child in sorted(path.iterdir())
-             if child.is_dir() and is_version_dir_name(child.name)
-             and child.name != spool.name]
-    print(f"spool root:    {path}")
-    print(f"code version:  {spool.name}"
-          + ("" if spool.is_dir() else " (no spool written yet)"))
-    for name, value in counts.items():
-        print(f"{name + ':':14s} {value}")
+    # Inspection is strictly read-only (spool_status builds no
+    # SpoolBroker, creates no directories): a typo'd path must not
+    # leave a real-looking empty spool behind.
+    status = spool_status(root)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    current = next((entry for entry in status["versions"]
+                    if entry["current"]), None)
+    stale = [entry for entry in status["versions"] if not entry["current"]]
+    print(f"spool root:    {status['root']}")
+    print(f"code version:  {status['current_version']}"
+          + ("" if current is not None else " (no spool written yet)"))
+    for name in ("pending", "claimed", "done", "failed"):
+        print(f"{name + ':':14s} "
+              f"{current[name] if current is not None else 0}")
+    age = current["oldest_pending_age_s"] if current is not None else None
+    print("oldest pending: "
+          + (f"{age:.1f} s" if age is not None else "-"))
+    for entry in stale:
+        print(f"  stale {entry['version']}: {entry['pending']} pending, "
+              f"{entry['claimed']} claimed, {entry['done']} done, "
+              f"{entry['failed']} failed")
     print(f"stale versions: {len(stale)}"
-          + (f" ({', '.join(stale)}) — reclaim with 'repro queue --gc'"
-             if stale else ""))
+          + (f" ({', '.join(entry['version'] for entry in stale)}) "
+             f"— reclaim with 'repro queue --gc'" if stale else ""))
     return 0
 
 
@@ -762,6 +779,9 @@ def _dispatch(args) -> int:
         return _cmd_queue(args)
     if args.command == "worker":
         return _cmd_worker(args)
+    served = dispatch_serve(args)
+    if served is not None:
+        return served
     return 1  # pragma: no cover
 
 

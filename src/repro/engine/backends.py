@@ -54,6 +54,14 @@ from repro.errors import ConfigError
 #: Backend names accepted by ``--backend`` / :func:`resolve_backend`.
 BACKEND_NAMES = ("serial", "pool", "queue")
 
+#: Spool directories that already produced the workerless-spool warning
+#: in this process.  The warning is an operator hint ("you forgot to
+#: start a worker"), so it fires once per spool directory — not once per
+#: runner batch, which would repeat it for every campaign a long-lived
+#: multi-campaign process (``repro serve``) runs over one shared spool.
+_WORKERLESS_WARNED_SPOOLS: set = set()
+_WORKERLESS_WARNED_LOCK = threading.Lock()
+
 
 class ShardFailure(RuntimeError):
     """Internal: one executable unit failed inside a backend.
@@ -436,6 +444,12 @@ class QueueBackend:
             return False
         if any(self.broker.claimed_dir.glob("*.job")):
             return False  # a worker is on it, just slow
+        with _WORKERLESS_WARNED_LOCK:
+            if str(self.broker.spool) in _WORKERLESS_WARNED_SPOOLS:
+                # Another batch over this spool already warned: stay
+                # quiet but stop re-checking for this batch too.
+                return True
+            _WORKERLESS_WARNED_SPOOLS.add(str(self.broker.spool))
         warnings.warn(
             f"queue backend: no worker has claimed any shard from "
             f"{self.broker.spool} after {elapsed:.1f}s; start "

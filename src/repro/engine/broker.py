@@ -586,6 +586,80 @@ class SpoolBroker:
         claim.discard()
 
 
+def spool_status(root, *, now: float | None = None) -> dict:
+    """Read-only depth/age introspection over every spool version.
+
+    Returns a mapping with the spool ``root``, the ``current_version``
+    tag of this process's code, and one entry per version directory
+    found under the root: pending/claimed/done/failed shard counts plus
+    the age in seconds of the oldest ``pending/`` shard (``None`` when
+    nothing is pending).  This is the data source of ``repro queue``'s
+    report and of the serve tier's ``/v1/metrics`` endpoint, so both
+    surfaces agree by construction.
+
+    Strictly read-only: no :class:`SpoolBroker` is built (its
+    constructor creates the spool tree) and nothing is created — probing
+    a typo'd path must not leave a real-looking empty spool behind.
+    """
+    if not root:
+        raise ConfigError(
+            "spool introspection needs a spool directory: pass --queue DIR "
+            f"or set ${QUEUE_DIR_ENV}")
+    path = pathlib.Path(root).expanduser()
+    if not path.is_dir():
+        raise ConfigError(f"queue directory {path} does not exist "
+                          f"(check ${QUEUE_DIR_ENV})")
+    if now is None:
+        now = time.time()
+    versions = []
+    try:
+        children = sorted(path.iterdir())
+    except OSError:
+        children = []
+    for child in children:
+        if not child.is_dir() or not is_version_dir_name(child.name):
+            continue
+        counts = {
+            SpoolBroker.PENDING: 0,
+            SpoolBroker.CLAIMED: 0,
+            SpoolBroker.DONE: 0,
+            SpoolBroker.FAILED: 0,
+        }
+        suffixes = {SpoolBroker.PENDING: ".job", SpoolBroker.CLAIMED: ".job",
+                    SpoolBroker.DONE: ".pkl", SpoolBroker.FAILED: ".err"}
+        oldest_pending: float | None = None
+        for name, suffix in suffixes.items():
+            try:
+                with os.scandir(child / name) as entries:
+                    for entry in entries:
+                        if not entry.name.endswith(suffix):
+                            continue
+                        counts[name] += 1
+                        if name == SpoolBroker.PENDING:
+                            try:
+                                mtime = entry.stat().st_mtime
+                            except OSError:
+                                continue
+                            if oldest_pending is None \
+                                    or mtime < oldest_pending:
+                                oldest_pending = mtime
+            except OSError:
+                pass
+        versions.append({
+            "version": child.name,
+            "current": child.name == version_tag(),
+            "pending": counts[SpoolBroker.PENDING],
+            "claimed": counts[SpoolBroker.CLAIMED],
+            "done": counts[SpoolBroker.DONE],
+            "failed": counts[SpoolBroker.FAILED],
+            "oldest_pending_age_s":
+                None if oldest_pending is None
+                else max(0.0, now - oldest_pending),
+        })
+    return {"root": str(path), "current_version": version_tag(),
+            "versions": versions}
+
+
 def prune_stale_versions(root) -> list[tuple[str, int]]:
     """Delete spool version directories left by older code versions.
 

@@ -41,6 +41,7 @@ queue backend retries transient failures first (bounded, counted in
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass
 
@@ -90,6 +91,21 @@ class EngineStats:
     @property
     def hits(self) -> int:
         return self.memory_hits + self.disk_hits
+
+    def as_dict(self) -> dict:
+        """The counters as a plain mapping (metrics/JSON surface)."""
+        return {f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)}
+
+    def delta(self, before: "EngineStats") -> dict:
+        """Counter increments since the ``before`` snapshot.
+
+        Long-lived multi-campaign consumers (the ``repro serve``
+        collector) attribute one shared runner's work to individual
+        campaigns by snapshotting around each batch.
+        """
+        return {f.name: getattr(self, f.name) - getattr(before, f.name)
+                for f in dataclasses.fields(self)}
 
 
 class ParallelRunner:
@@ -186,6 +202,24 @@ class ParallelRunner:
     def cached_result(self, job: Job):
         """This runner's memoized result for ``job`` (or ``None``)."""
         return self._memo.get(job_key(job))
+
+    @property
+    def memo_size(self) -> int:
+        """Results currently held in this runner's in-memory memo."""
+        return len(self._memo)
+
+    def reset_memo(self) -> int:
+        """Drop the in-memory memo; returns the number of entries freed.
+
+        The on-disk cache (if any) is untouched, so re-resolving a
+        dropped key later is a disk hit, not a re-simulation.  Long-lived
+        processes (the ``repro serve`` collector) call this between
+        campaigns to bound memory — the disk cache's LRU bound handles
+        the persistent tier.
+        """
+        freed = len(self._memo)
+        self._memo.clear()
+        return freed
 
     # -- resolution helpers --------------------------------------------
 

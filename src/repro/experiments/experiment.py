@@ -155,6 +155,35 @@ class Experiment:
         """Canonical job keys of the plan (spec-identity fingerprint)."""
         return [job_key(job) for job in self.plan()]
 
+    def plan_summary(self) -> dict:
+        """Machine-readable plan preview (``--dry-run --json`` and the
+        service's ``POST /v1/campaigns?dry_run=1`` share this shape).
+
+        Lists every planned job with its kind, evaluation point, trace
+        origin and canonical key.  Duplicate keys are reported as
+        planned — the engine deduplicates at submission, so the
+        ``unique_jobs`` count is what a campaign actually costs.
+        """
+        jobs = self.plan()
+        entries = []
+        for job in jobs:
+            entry = {
+                "kind": job.kind,
+                "key": job_key(job),
+                "label": job.label,
+                "vcc_mv": job.vcc_mv,
+                "scheme": job.scheme,
+                "origin": _job_origin(job),
+            }
+            entries.append(entry)
+        return {
+            "name": self.spec.name,
+            "artifacts": list(self.spec.artifacts),
+            "planned_jobs": len(entries),
+            "unique_jobs": len({entry["key"] for entry in entries}),
+            "jobs": entries,
+        }
+
     # -- execution -----------------------------------------------------
 
     def run(self, runner: ParallelRunner | None = None) -> ResultSet:
@@ -334,6 +363,17 @@ def run_spec(spec: ExperimentSpec,
     experiment = Experiment(spec, runner=runner)
     experiment.run()
     return experiment
+
+
+def _job_origin(job: Job) -> str:
+    """Where a job's workload comes from: trace label(s) or population."""
+    if job.trace is not None:
+        return f"{job.trace.source}:{job.trace.label}"
+    if job.population is not None:
+        specs = job.population.trace_specs()
+        return f"population[{len(specs)}]:" + \
+            ",".join(spec.label for spec in specs)
+    return "model"
 
 
 def _point_metrics(result) -> dict:

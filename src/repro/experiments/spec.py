@@ -609,6 +609,34 @@ class ExperimentSpec:
         return cls.from_dict(data)
 
     @classmethod
+    def from_bytes(cls, data: bytes,
+                   fmt: str | None = None) -> "ExperimentSpec":
+        """Parse a spec from raw bytes (the HTTP submission surface).
+
+        ``fmt`` is ``"toml"``, ``"json"``, or ``None`` to sniff: a body
+        whose first non-whitespace byte is ``{`` is JSON, anything else
+        is TOML.  Malformed bodies raise
+        :class:`~repro.errors.ConfigError` with the parser's message, so
+        a server can hand the text back as a clean 400.
+        """
+        if isinstance(data, str):
+            text = data
+        else:
+            try:
+                text = bytes(data).decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise ConfigError(f"spec body is not UTF-8: {exc}") \
+                    from None
+        if fmt is None:
+            fmt = "json" if text.lstrip()[:1] == "{" else "toml"
+        if fmt == "toml":
+            return cls.from_toml(text)
+        if fmt == "json":
+            return cls.from_json(text)
+        raise ConfigError(f"unknown spec format {fmt!r} "
+                          f"(expected 'toml' or 'json')")
+
+    @classmethod
     def load(cls, path) -> "ExperimentSpec":
         """Read a spec file; the format follows the suffix (.toml/.json)."""
         path = pathlib.Path(path)

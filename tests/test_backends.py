@@ -406,6 +406,26 @@ class TestFaultInjection:
             helper.join()
         assert results == [{"note": "late"}]
 
+    def test_workerless_warning_fires_once_per_spool(self, tmp_path):
+        """Regression: every concurrent batch over one workerless spool
+        used to emit its own copy of the warning; now the first batch
+        warns and the rest go quiet (but still stop re-checking)."""
+        import warnings
+
+        first = QueueBackend(tmp_path, local_workers=0, lease_timeout=0.01)
+        second = QueueBackend(tmp_path, local_workers=0, lease_timeout=0.01)
+        stalled_since = time.monotonic() - 1.0
+        with pytest.warns(RuntimeWarning, match="no worker has claimed"):
+            assert first._looks_stalled(stalled_since, False) is True
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            assert second._looks_stalled(stalled_since, False) is True
+        # A different spool directory is a different mistake: warn again.
+        other = QueueBackend(tmp_path / "other", local_workers=0,
+                             lease_timeout=0.01)
+        with pytest.warns(RuntimeWarning, match="no worker has claimed"):
+            assert other._looks_stalled(stalled_since, False) is True
+
     def test_worker_side_exception_text_travels_to_the_runner(self, tmp_path):
         job = Job(kind="engine-selftest-crash", options=(("note", "once"),))
         backend = queue_backend(tmp_path, local_workers=1, max_retries=0)

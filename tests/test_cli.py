@@ -13,7 +13,7 @@ class TestVersion:
             main(["--version"])
         assert excinfo.value.code == 0
         assert f"repro {repro.__version__}" in capsys.readouterr().out
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
 
 
 class TestRunSpec:
@@ -59,6 +59,30 @@ class TestRunSpec:
         out = capsys.readouterr().out
         assert "jobs:" in out and "artifacts:   table1, fig11b" in out
         assert "simulated" not in out
+
+    def test_dry_run_json_emits_the_plan_summary(self, tmp_path, capsys):
+        """--dry-run --json prints the same machine-readable plan the
+        service's dry_run endpoint returns."""
+        import json as json_module
+
+        path = self.write_spec(tmp_path)
+        assert main(["run", str(path), "--no-cache",
+                     "--dry-run", "--json"]) == 0
+        summary = json_module.loads(capsys.readouterr().out)
+        assert summary["name"] == "cli-spec"
+        assert summary["artifacts"] == ["table1", "fig11b"]
+        assert summary["planned_jobs"] == len(summary["jobs"]) > 0
+        assert summary["unique_jobs"] <= summary["planned_jobs"]
+        first = summary["jobs"][0]
+        assert {"kind", "key", "label", "origin", "scheme",
+                "vcc_mv"} <= set(first)
+        assert first["origin"].startswith(("population[", "profile:",
+                                           "riscv:", "model"))
+
+    def test_json_without_dry_run_exits_2(self, tmp_path, capsys):
+        path = self.write_spec(tmp_path)
+        assert main(["run", str(path), "--json"]) == 2
+        assert "--json needs --dry-run" in capsys.readouterr().err
 
     def test_dry_run_lists_trace_origins(self, tmp_path, capsys):
         """--dry-run names every planned trace and where it comes from:
@@ -209,6 +233,46 @@ class TestQueueCommand:
         out = capsys.readouterr().out
         assert "spool root:" in out and "pending:" in out
         assert "stale versions: 0" in out
+
+    def test_queue_json_reports_per_version_depth_and_age(self, tmp_path,
+                                                          capsys):
+        import json as json_module
+        import time
+
+        from repro.engine.cache import version_tag
+
+        pending = tmp_path / version_tag() / "pending"
+        pending.mkdir(parents=True)
+        (pending / "a.job").write_bytes(b"x")
+        old = time.time() - 30.0
+        import os
+
+        os.utime(pending / "a.job", (old, old))
+        stale = tmp_path / "v1-deadbeef00000000" / "done"
+        stale.mkdir(parents=True)
+        (stale / "r.pkl").write_bytes(b"x")
+        assert main(["queue", "--queue", str(tmp_path), "--json"]) == 0
+        status = json_module.loads(capsys.readouterr().out)
+        assert status["root"] == str(tmp_path)
+        assert status["current_version"] == version_tag()
+        by_version = {entry["version"]: entry
+                      for entry in status["versions"]}
+        current = by_version[version_tag()]
+        assert current["current"] is True
+        assert current["pending"] == 1
+        assert current["oldest_pending_age_s"] >= 25.0
+        assert by_version["v1-deadbeef00000000"]["done"] == 1
+        assert by_version["v1-deadbeef00000000"]["current"] is False
+
+    def test_queue_human_output_names_oldest_pending_age(self, tmp_path,
+                                                         capsys):
+        from repro.engine.cache import version_tag
+
+        pending = tmp_path / version_tag() / "pending"
+        pending.mkdir(parents=True)
+        (pending / "a.job").write_bytes(b"x")
+        assert main(["queue", "--queue", str(tmp_path)]) == 0
+        assert "oldest pending:" in capsys.readouterr().out
 
     def test_queue_gc_removes_stale_versions(self, tmp_path, capsys):
         from repro.engine.cache import version_tag
