@@ -55,6 +55,9 @@ def pytest_addoption(parser):
     group.addoption("--queue", default=None, metavar="DIR",
                     help="spool directory for --backend queue "
                          "(default $REPRO_QUEUE_DIR)")
+    group.addoption("--trace-out", default=None, metavar="PATH",
+                    help="append one JSON span per resolved shard to "
+                         "this JSONL file (see 'repro trace report')")
 
 
 def record_table(name: str, text: str) -> None:
@@ -80,7 +83,8 @@ def engine_runner(pytestconfig) -> ParallelRunner:
     return build_runner(workers=pytestconfig.getoption("--workers"),
                         no_cache=pytestconfig.getoption("--no-cache"),
                         backend=pytestconfig.getoption("--backend"),
-                        queue_dir=pytestconfig.getoption("--queue"))
+                        queue_dir=pytestconfig.getoption("--queue"),
+                        trace_out=pytestconfig.getoption("--trace-out"))
 
 
 @pytest.fixture(scope="session")

@@ -7,10 +7,12 @@ Subcommands
 ``compare``   baseline-vs-IRAW comparison at chosen Vcc levels
 ``mc``        Monte-Carlo die sampling: yield and Vccmin distributions
 ``simulate``  run one kernel or synthetic trace on the pipeline
-``trace``     generate a synthetic trace and save it to a file
+``trace``     generate a synthetic trace; ``trace report`` summarizes
+              a ``--trace-out`` telemetry span file
 ``kernels``   list the built-in kernels
 ``calibrate`` re-run the circuit-model fit and report the anchors
-``cache``     inspect or clear the on-disk result cache
+``cache``     inspect or clear the on-disk result cache (``--stats``
+              for a read-only usage/hit-rate report)
 ``queue``     inspect a queue spool / garbage-collect stale versions
 ``worker``    run a queue-backend worker against a spool directory
 ``serve``     run the always-on HTTP/JSON experiment service
@@ -53,6 +55,14 @@ crashed workers.  ``repro queue --gc`` (or ``repro worker --gc``)
 deletes spool version directories stranded by old code versions.
 Configuration errors (bad spool or cache roots, unknown backends) exit
 with a one-line message and status 2.
+
+Telemetry: every engine-backed subcommand accepts ``--trace-out PATH``
+(or honors ``$REPRO_TRACE_DIR``) to append one JSON span per resolved
+shard — stage timings for plan, cache read, queue wait, execute, cache
+write and aggregate — and ``repro trace report RUN.jsonl`` renders the
+per-stage breakdown, slowest shards and cache hit rates.
+``GET /v1/metrics`` on the service returns Prometheus text when asked
+with ``Accept: text/plain``.
 """
 
 from __future__ import annotations
@@ -227,12 +237,30 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--cold", action="store_true",
                           help="skip the cache warmup pass")
 
-    trace = sub.add_parser("trace", help="generate and save a trace")
-    trace.add_argument("--profile", required=True,
+    trace = sub.add_parser(
+        "trace", help="generate a trace / report on a telemetry run",
+        description="Without a subcommand: generate a synthetic "
+                    "instruction trace (--profile/--out required).  "
+                    "'trace report RUN.jsonl' instead summarizes a "
+                    "telemetry span file written by --trace-out or "
+                    "$REPRO_TRACE_DIR.")
+    trace.add_argument("--profile", default=None,
                        choices=sorted(PROFILES_BY_NAME))
     trace.add_argument("--length", type=int, default=10_000)
     trace.add_argument("--seed", type=int, default=0)
-    trace.add_argument("--out", required=True)
+    trace.add_argument("--out", default=None)
+    trace_sub = trace.add_subparsers(dest="trace_command")
+    trace_report = trace_sub.add_parser(
+        "report", help="summarize a --trace-out span file",
+        description="Render per-stage wall-clock percentiles, the "
+                    "slowest executed shards and per-kind cache hit "
+                    "rates from a JSONL span file.")
+    trace_report.add_argument("trace_file", metavar="RUN.jsonl",
+                              help="span file written by --trace-out")
+    trace_report.add_argument("--top", type=int, default=10, metavar="N",
+                              help="slowest shards to list (default 10)")
+    trace_report.add_argument("--json", action="store_true",
+                              help="emit the summary as JSON")
 
     sub.add_parser("kernels", help="list built-in kernels")
     sub.add_parser("calibrate", help="re-fit the circuit model")
@@ -247,6 +275,12 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--dry-run", action="store_true",
                        help="with --prune: report what would be deleted "
                             "without touching the store")
+    cache.add_argument("--stats", action="store_true",
+                       help="read-only usage report: entry count, bytes, "
+                            "per-version breakdown and hit rate since "
+                            "the last prune")
+    cache.add_argument("--json", action="store_true",
+                       help="with --stats: emit the report as JSON")
 
     queue = sub.add_parser(
         "queue", help="inspect a queue spool / GC stale versions",
@@ -575,11 +609,34 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    if getattr(args, "trace_command", None) == "report":
+        return _cmd_trace_report(args)
+    # The generate path keeps its historical contract (--profile/--out
+    # mandatory) but validates by hand now that 'trace report' shares
+    # the subparser and argparse can no longer mark them required.
+    if args.profile is None or args.out is None:
+        raise ConfigError("trace generation needs --profile and --out "
+                          "(or use 'repro trace report RUN.jsonl')")
     generator = SyntheticTraceGenerator(PROFILES_BY_NAME[args.profile],
                                         seed=args.seed)
     trace = generator.generate(args.length)
     save_trace(trace, args.out)
     print(f"wrote {len(trace)} instructions to {args.out}")
+    return 0
+
+
+def _cmd_trace_report(args) -> int:
+    from repro.obs.report import render_report, summarize
+    from repro.obs.trace import read_spans
+    try:
+        spans = read_spans(args.trace_file)
+    except OSError as exc:
+        raise ConfigError(f"cannot read trace file: {exc}")
+    if args.json:
+        print(json.dumps(summarize(spans, top=args.top), indent=2,
+                         sort_keys=True))
+        return 0
+    print(render_report(spans, top=args.top))
     return 0
 
 
@@ -716,6 +773,15 @@ def _cmd_cache(args) -> int:
     if cache.root.exists() and not cache.root.is_dir():
         raise ConfigError(f"cache root {cache.root} exists but is not a "
                           f"directory (check $REPRO_CACHE_DIR)")
+    if args.stats:
+        # Strictly read-only: combining it with mutation flags would
+        # make the report describe a store that no longer exists.
+        if args.clear or args.prune or args.dry_run:
+            raise ConfigError("--stats is read-only; run it without "
+                              "--clear/--prune/--dry-run")
+        return _cache_stats(cache, as_json=args.json)
+    if args.json:
+        raise ConfigError("--json only makes sense with --stats")
     if args.dry_run and (args.clear or not args.prune):
         raise ConfigError("--dry-run only makes sense with --prune "
                           "(and without --clear)")
@@ -737,6 +803,7 @@ def _cmd_cache(args) -> int:
                   f"{cache.max_bytes}-byte bound")
     elif args.prune:
         removed = cache.prune_stale()
+        cache.reset_persisted_stats()  # hit-rate window restarts here
         print(f"pruned {removed} entries from stale code versions")
         evicted = cache.enforce_limit()
         for key, size in evicted:
@@ -753,6 +820,33 @@ def _cmd_cache(args) -> int:
     print(f"code version:  {cache.version_dir.name}")
     print(f"entries:       {cache.entry_count()}")
     print(f"size:          {cache.total_bytes()} bytes (bound: {bound})")
+    return 0
+
+
+def _cache_stats(cache: ResultCache, as_json: bool = False) -> int:
+    """The read-only ``repro cache --stats`` report."""
+    report = cache.usage_report()
+    if as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    bound = (f"{report['max_bytes']} bytes"
+             if report["max_bytes"] is not None else "unbounded")
+    print(f"cache root:    {report['root']}")
+    print(f"code version:  {report['version']}")
+    print(f"entries:       {report['entries']}")
+    print(f"size:          {report['bytes']} bytes (bound: {bound})")
+    for entry in report["versions"]:
+        marker = " (current)" if entry["current"] else ""
+        print(f"  version {entry['version']}{marker}: "
+              f"{entry['entries']} entr"
+              f"{'y' if entry['entries'] == 1 else 'ies'}, "
+              f"{entry['bytes']} bytes")
+    lookups = report["hits"] + report["misses"]
+    if report["hit_rate"] is None:
+        print("hit rate:      n/a (no lookups since last prune)")
+    else:
+        print(f"hit rate:      {report['hit_rate']:.1%} "
+              f"({report['hits']}/{lookups} since last prune)")
     return 0
 
 

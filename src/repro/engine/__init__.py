@@ -35,6 +35,13 @@ and executes batches of them through a
   sizes and recency, and least-recently-used shards are evicted first.
 * **Progress** (:mod:`repro.engine.progress`) reports batch progress
   without coupling the runner to a UI.
+* **Telemetry** (:mod:`repro.obs`) threads through all of the above:
+  the runner's ``stats`` counters live in a shared
+  :class:`~repro.obs.metrics.MetricsRegistry` (``runner.metrics``), the
+  cache/broker/queue layers register their own instruments there, and a
+  ``--trace-out`` JSONL sink records one span per resolved shard with a
+  plan / cache-read / queue-wait / execute / cache-write / aggregate
+  timing breakdown (``repro trace report`` renders it).
 
 Typical use::
 
@@ -52,7 +59,7 @@ from repro.engine.backends import (
     SerialBackend,
     resolve_backend,
 )
-from repro.engine.broker import SpoolBroker, run_worker_loop
+from repro.engine.broker import SpoolBroker, WireResult, run_worker_loop
 from repro.engine.cache import ResultCache
 from repro.engine.cli import add_engine_arguments, build_runner, \
     runner_from_args
@@ -64,14 +71,17 @@ from repro.engine.jobs import (
     job_key,
     shard_jobs,
 )
-from repro.engine.progress import NullProgress, TextProgress
+from repro.engine.progress import CompositeProgress, MetricsProgress, \
+    NullProgress, TextProgress
 from repro.engine.runner import EngineError, EngineStats, ParallelRunner
 
 __all__ = [
     "BACKEND_NAMES",
+    "CompositeProgress",
     "EngineError",
     "EngineStats",
     "Job",
+    "MetricsProgress",
     "NullProgress",
     "ParallelRunner",
     "PoolBackend",
@@ -80,6 +90,7 @@ __all__ = [
     "SerialBackend",
     "SpoolBroker",
     "TextProgress",
+    "WireResult",
     "TracePopulationSpec",
     "TraceSpec",
     "add_engine_arguments",

@@ -11,6 +11,14 @@ backend**.  A backend is anything with::
         # yield (key, result) pairs as units complete, in any order;
         # raise ShardFailure when a unit permanently fails
 
+Backends that additionally accept ``execute(pending, stats, trace=...)``
+advertise it with a ``supports_tracing = True`` attribute; the runner
+falls back to the two-argument call otherwise, so third-party or test
+backends keep working unchanged.  The ``trace`` is a
+:class:`repro.obs.trace.BatchTrace`: backends report worker-measured
+execute time per key through ``trace.executed`` and the runner emits
+the span when it collects the result.
+
 Three implementations ship here:
 
 * :class:`SerialBackend` — inline, deterministic, no subprocesses;
@@ -45,9 +53,10 @@ import warnings
 from dataclasses import dataclass, field
 
 from repro.engine.broker import SpoolBroker, CompletedEvent, CorruptEvent, \
-    ExpiredEvent, FailedEvent, LostEvent, default_queue_root, \
+    ExpiredEvent, FailedEvent, LostEvent, WireResult, default_queue_root, \
     run_worker_loop
-from repro.engine.executors import execute_chunk, execute_job
+from repro.engine.executors import execute_chunk, execute_chunk_timed, \
+    execute_job, execute_job_timed
 from repro.engine.jobs import Job
 from repro.errors import ConfigError
 
@@ -93,11 +102,18 @@ class SerialBackend:
     #: Legacy contract: serial failures propagate as the original
     #: exception, not wrapped in EngineError.
     wrap_errors = False
+    supports_tracing = True
 
-    def execute(self, pending, stats):
+    def execute(self, pending, stats, trace=None):
         for key, job in pending.items():
             try:
-                result = execute_job(job)
+                if trace is None:
+                    result = execute_job(job)
+                else:
+                    started = time.perf_counter()
+                    result = execute_job(job)
+                    trace.executed(key, time.perf_counter() - started,
+                                   worker="inline")
             except Exception as exc:
                 raise ShardFailure(key, job, exc) from exc
             yield key, result
@@ -117,6 +133,7 @@ class PoolBackend:
 
     name = "pool"
     wrap_errors = True
+    supports_tracing = True
 
     def __init__(self, workers: int = 0, batch: int | None = None):
         if workers == 0 or workers is None:
@@ -142,23 +159,27 @@ class PoolBackend:
             return self.batch
         return min(32, max(1, pending_count // (self.workers * 8)))
 
-    def execute(self, pending, stats):
+    def execute(self, pending, stats, trace=None):
         if len(pending) == 1:
             # One pending unit skips pool setup entirely and runs the
             # serial path; the failure is still wrapped (EngineError)
             # per the multi-worker contract, because ShardFailure is
             # raised either way and the runner checks *this* backend's
             # wrap_errors.
-            yield from SerialBackend().execute(pending, stats)
+            yield from SerialBackend().execute(pending, stats, trace)
             return
         chunk = self._chunk_size(len(pending))
         if chunk > 1:
-            yield from self._execute_chunked(pending, chunk)
+            yield from self._execute_chunked(pending, chunk, trace)
             return
+        # Traced batches ship the timed wrapper so the worker's own
+        # monotonic clock measures execute time (durations only — no
+        # cross-process timestamp agreement needed).
+        submit = execute_job if trace is None else execute_job_timed
         pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=min(self.workers, len(pending)))
         try:
-            futures = {pool.submit(execute_job, job): (key, job)
+            futures = {pool.submit(submit, job): (key, job)
                        for key, job in pending.items()}
             for future in concurrent.futures.as_completed(futures):
                 key, job = futures[future]
@@ -167,6 +188,10 @@ class PoolBackend:
                 except Exception as exc:
                     raise ShardFailure(key, job, exc,
                                        where="in a worker process") from exc
+                if trace is not None:
+                    result, meta = result
+                    trace.executed(key, meta.get("execute_s", 0.0),
+                                   meta.get("worker", ""))
                 yield key, result
         except BaseException:
             # Surface the failure immediately: drop queued work and do
@@ -177,7 +202,7 @@ class PoolBackend:
         else:
             pool.shutdown(wait=True)
 
-    def _execute_chunked(self, pending, chunk: int):
+    def _execute_chunked(self, pending, chunk: int, trace=None):
         """Submit ``chunk``-sized job lists per future.
 
         A chunk's completed members are always delivered before any
@@ -188,11 +213,12 @@ class PoolBackend:
         items = list(pending.items())
         chunks = [items[index:index + chunk]
                   for index in range(0, len(items), chunk)]
+        run_chunk = execute_chunk if trace is None else execute_chunk_timed
         pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=min(self.workers, len(chunks)))
         try:
             futures = {
-                pool.submit(execute_chunk, [job for _, job in part]): part
+                pool.submit(run_chunk, [job for _, job in part]): part
                 for part in chunks}
             for future in concurrent.futures.as_completed(futures):
                 part = futures[future]
@@ -207,6 +233,11 @@ class PoolBackend:
                 failure = None
                 for (key, job), (tag, value) in zip(part, outcomes):
                     if tag == "ok":
+                        if trace is not None:
+                            value, meta = value
+                            trace.executed(key,
+                                           meta.get("execute_s", 0.0),
+                                           meta.get("worker", ""))
                         yield key, value
                     elif failure is None:
                         failure = ShardFailure(key, job, value,
@@ -267,6 +298,7 @@ class QueueBackend:
 
     name = "queue"
     wrap_errors = True
+    supports_tracing = True
 
     def __init__(self, queue_dir=None, *, lease_timeout: float | None = None,
                  max_retries: int = 3, local_workers: int = 0,
@@ -283,6 +315,33 @@ class QueueBackend:
         self.local_workers = int(local_workers)
         self.poll_interval = float(poll_interval)
         self.claim_batch = int(claim_batch)
+        #: Optional instruments, wired by :meth:`attach_metrics`.
+        self._requeued_counter = None
+        self._fault_counters: dict = {}
+
+    def attach_metrics(self, registry) -> None:
+        """Register queue fault-recovery instruments on ``registry``.
+
+        The broker's lease-watch hooks feed a heartbeat-lag histogram
+        (how stale each live lease's beat looks at poll time) and an
+        expiry counter; requeue traffic is counted overall and broken
+        down by fault class.
+        """
+        self._requeued_counter = registry.counter(
+            "queue_requeued", "Shard re-dispatch events (fault recovery)")
+        self._fault_counters = {
+            name: registry.counter(
+                "queue_faults",
+                "Queue fault events by class",
+                labels={"outcome": name})
+            for name in ("lost", "expired", "corrupt", "failed")}
+        lag = registry.histogram(
+            "queue_heartbeat_lag_s",
+            "Seconds since each live lease's last heartbeat, per poll")
+        self.broker.on_lease_lag = lag.observe
+        self.broker.on_lease_expired = registry.counter(
+            "queue_lease_expired",
+            "Leases expired after a full heartbeat-free timeout").inc
 
     # -- collection ----------------------------------------------------
 
@@ -300,6 +359,8 @@ class QueueBackend:
                       f"attempts") from cause
         state.attempts[key] += 1
         stats.requeued += 1
+        if self._requeued_counter is not None:
+            self._requeued_counter.inc()
         if key not in state.retried:
             state.retried.add(key)
             stats.retried += 1
@@ -352,6 +413,7 @@ class QueueBackend:
                 lost_this_pass.add(key)
                 return
             state.lost_polls.pop(key, None)
+            self._count_fault("lost")
             self._requeue(key, job, state, stats,
                           RemoteShardError(
                               "shard vanished from the spool (corrupt "
@@ -360,6 +422,7 @@ class QueueBackend:
                           resubmit=True)
         elif isinstance(event, ExpiredEvent):
             # The broker already renamed the shard back to pending/.
+            self._count_fault("expired")
             self._requeue(key, job, state, stats,
                           RemoteShardError(
                               f"worker lease expired after "
@@ -367,19 +430,26 @@ class QueueBackend:
                               f"a heartbeat (crashed or wedged worker)"),
                           resubmit=False)
         elif isinstance(event, CorruptEvent):
+            self._count_fault("corrupt")
             self._requeue(key, job, state, stats,
                           RemoteShardError(
                               f"corrupt result quarantined at "
                               f"{event.quarantined}"),
                           resubmit=True)
         elif isinstance(event, FailedEvent):
+            self._count_fault("failed")
             self._requeue(key, job, state, stats,
                           RemoteShardError(
                               f"shard raised on a queue worker:\n"
                               f"{event.error}"),
                           resubmit=True)
 
-    def execute(self, pending, stats):
+    def _count_fault(self, name: str) -> None:
+        counter = self._fault_counters.get(name)
+        if counter is not None:
+            counter.inc()
+
+    def execute(self, pending, stats, trace=None):
         state = self._new_state(pending)
         for key, job in pending.items():
             self.broker.submit(key, job)
@@ -405,7 +475,17 @@ class QueueBackend:
                 # failure: their done/ files are already consumed, so
                 # they must reach the runner's memo/cache now or the
                 # successful simulations would be lost with the batch.
-                yield from completions
+                for key, result in completions:
+                    if isinstance(result, WireResult):
+                        # Unwrap the worker's timing envelope before the
+                        # result reaches the memo/cache: stored results
+                        # stay byte-identical to untraced runs.  Raw
+                        # (pre-envelope) results pass through unchanged.
+                        if trace is not None:
+                            trace.executed(key, result.execute_s,
+                                           result.worker)
+                        result = result.result
+                    yield key, result
                 if failure is not None:
                     raise failure
                 if not completions and state.outstanding:

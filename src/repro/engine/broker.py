@@ -43,9 +43,11 @@ remote mtime against local wall-clock time, so clock skew between
 machines sharing the spool cannot expire a healthy lease.  A dead
 shard is renamed back to ``pending/`` for another worker, bounded by
 the backend's retry budget.  A straggler that was presumed dead but
-finishes anyway just rewrites the same ``done/<key>.pkl`` content —
-results are deterministic per key, so late double-writes are harmless
-and each key is still collected exactly once — and the ownership token
+finishes anyway just rewrites ``done/<key>.pkl`` — results are
+deterministic per key (only the optional :class:`WireResult` timing
+envelope can differ between attempts), so late double-writes are
+harmless and each key is still collected exactly once — and the
+ownership token
 keeps it from publishing failures for, or deleting, a lease that has
 since been re-claimed by another worker.
 
@@ -132,6 +134,26 @@ def validated_queue_root(root) -> pathlib.Path:
 # ----------------------------------------------------------------------
 # Poll events (runner side)
 # ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WireResult:
+    """A shard result plus its execution envelope, as spooled.
+
+    When tracing is active workers publish this wrapper instead of the
+    bare result: the worker's identity and its own monotonic measure of
+    execute time ride along, so the runner can attribute remote
+    execution without any cross-machine clock agreement (durations
+    only, never timestamps).  The queue backend unwraps it before the
+    result reaches the engine memo, so cached/golden results stay
+    byte-identical to untraced runs.  The spool is version-fingerprinted
+    (workers built from different code see an empty spool), so adding
+    this wrapper is not a wire-compatibility hazard.
+    """
+
+    result: object
+    worker: str = ""
+    execute_s: float = 0.0
+
 
 @dataclass(frozen=True)
 class CompletedEvent:
@@ -254,6 +276,12 @@ class SpoolBroker:
         #: as opaque tokens, so clock skew between machines sharing the
         #: spool can never expire a healthy lease.
         self._lease_watch: dict[str, tuple[float, float]] = {}
+        #: Observability hooks (optional callables, set by the queue
+        #: backend's metrics wiring): ``on_lease_lag(seconds)`` reports
+        #: how long each watched lease has gone without a heartbeat at
+        #: poll time; ``on_lease_expired()`` fires per expired lease.
+        self.on_lease_lag = None
+        self.on_lease_expired = None
         for name in (self.PENDING, self.CLAIMED, self.DONE, self.FAILED,
                      self.QUARANTINE):
             try:
@@ -394,7 +422,12 @@ class SpoolBroker:
                 elif now - watched[1] > self.lease_timeout:
                     if self._expire(key, self.claimed_dir / f"{key}.job"):
                         events.append(ExpiredEvent(key))
+                        if self.on_lease_expired is not None:
+                            self.on_lease_expired()
                     self._lease_watch.pop(key, None)
+                elif self.on_lease_lag is not None:
+                    # Healthy-but-lagging lease: how stale is the beat?
+                    self.on_lease_lag(now - watched[1])
                 continue
             if f"{key}.job" in pending_names:
                 continue  # waiting for a worker: nothing to do yet
@@ -557,14 +590,23 @@ class SpoolBroker:
                 anchor = heartbeat
         return claims
 
-    def complete(self, claim: Claim, result) -> None:
+    def complete(self, claim: Claim, result, *, worker: str = "",
+                 execute_s: float | None = None) -> None:
         """Publish a claimed shard's result and drop the lease.
 
-        The result is always published — identical bytes per key, so a
+        The result is always published — deterministic per key, so a
         straggler finishing after its lease was re-claimed only speeds
-        the batch up — but the lease files are deleted only by their
-        current owner, never out from under a re-claiming worker.
+        the batch up (its double-write is a valid answer even if the
+        envelope's timing differs) — but the lease files are deleted
+        only by their current owner, never out from under a re-claiming
+        worker.  With ``execute_s`` set the payload is wrapped in a
+        :class:`WireResult` envelope carrying the worker identity and
+        its measured execute seconds; without it the bare result is
+        pickled exactly as before.
         """
+        if execute_s is not None:
+            result = WireResult(result=result, worker=worker,
+                                execute_s=float(execute_s))
         payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         self._atomic_write(self.done_dir / f"{claim.key}.pkl", payload)
         if claim.owns():
@@ -828,7 +870,9 @@ def run_worker_loop(broker: SpoolBroker, *,
         with _BatchHeartbeatPump(claims, broker.heartbeat_interval) as pump:
             for index, claim in enumerate(claims):
                 try:
+                    started = time.perf_counter()
                     result = execute(claim.job)
+                    elapsed = time.perf_counter() - started
                 except Exception as exc:
                     broker.fail(claim, exc)
                     failed += 1
@@ -837,7 +881,11 @@ def run_worker_loop(broker: SpoolBroker, *,
                         unfinished.release()
                     raise
                 else:
-                    broker.complete(claim, result)
+                    # Worker-measured execute time rides back in the
+                    # WireResult envelope so the runner can attribute
+                    # remote execution without clock agreement.
+                    broker.complete(claim, result, worker=identity,
+                                    execute_s=elapsed)
                     completed += 1
                 pump.done(claim)
                 # Reset *after* each shard: execution time is work, not
@@ -929,6 +977,28 @@ class WorkerSupervisor:
         self.spawned = 0
         self.crashed = 0
         self.respawns = 0
+
+    def attach_metrics(self, registry) -> None:
+        """Register fleet gauges on a :class:`MetricsRegistry`.
+
+        Callback-backed gauges, so a scrape always sees the live fleet —
+        no per-poll update plumbing in :meth:`poll_once`.
+        """
+        registry.gauge("supervisor_fleet",
+                       "Live supervised worker processes",
+                       fn=lambda: len(self.children))
+        registry.gauge("supervisor_spawned",
+                       "Workers spawned since supervisor start",
+                       fn=lambda: self.spawned)
+        registry.gauge("supervisor_crashed",
+                       "Worker crashes observed (non-zero exit)",
+                       fn=lambda: self.crashed)
+        registry.gauge("supervisor_respawns",
+                       "Crash respawns charged against the budget",
+                       fn=lambda: self.respawns)
+        registry.gauge("queue_backlog_shards",
+                       "Unclaimed shards in the supervised spool",
+                       fn=self.backlog)
 
     # -- fleet mechanics -----------------------------------------------
 

@@ -42,6 +42,7 @@ import pathlib
 import pickle
 import re
 import tempfile
+import time
 import warnings
 from dataclasses import dataclass, field
 
@@ -50,6 +51,10 @@ CACHE_SCHEMA_VERSION = 1
 
 #: Name of the per-version LRU bookkeeping file (not a result entry).
 INDEX_NAME = "index.json"
+
+#: Name of the root-level persistent hit/miss tally (survives version
+#: rotation; reset by ``repro cache --prune``).
+STATS_NAME = "stats.json"
 
 #: Sentinel distinguishing "no entry" from a cached falsy value.
 MISS = object()
@@ -153,6 +158,10 @@ class ResultCache:
     #: deferred-write flag: hits only touch memory, writes persist.
     _index: dict | None = field(default=None, repr=False)
     _dirty: bool = field(default=False, repr=False)
+    #: How much of ``stats`` has already been merged into the persistent
+    #: root-level tally (see :meth:`persist_stats`).
+    _flushed_hits: int = field(default=0, repr=False)
+    _flushed_misses: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         self.root = pathlib.Path(self.root).expanduser()
@@ -361,6 +370,135 @@ class ResultCache:
         if self._dirty and self._index is not None:
             self._save_index(self._index)
             self._dirty = False
+        self.persist_stats()
+
+    # -- persistent hit/miss tally -------------------------------------
+    #
+    # ``<root>/stats.json`` accumulates hits and misses across runs —
+    # the data behind ``repro cache --stats``'s hit-rate — with a
+    # ``since`` wall-clock stamp marking the window start.  It lives at
+    # the root (not in the version directory) so a code change does not
+    # silently reset the window; ``cache --prune`` resets it
+    # explicitly.  All writes are best-effort and atomic; a read-only
+    # cache location simply never persists the tally.
+
+    def _stats_path(self) -> pathlib.Path:
+        return self.root / STATS_NAME
+
+    def _load_persisted_stats(self) -> dict:
+        try:
+            data = json.loads(self._stats_path().read_text("utf-8"))
+            since = data.get("since")
+            return {"hits": int(data.get("hits", 0)),
+                    "misses": int(data.get("misses", 0)),
+                    "since": float(since) if since is not None else None}
+        except Exception:
+            return {"hits": 0, "misses": 0, "since": None}
+
+    def _save_stats(self, data: dict) -> bool:
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(data, handle, separators=(",", ":"))
+                os.replace(tmp_name, self._stats_path())
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False  # best-effort, like the LRU index
+        return True
+
+    def persist_stats(self) -> None:
+        """Merge this instance's unflushed hits/misses into the tally."""
+        delta_hits = self.stats.hits - self._flushed_hits
+        delta_misses = self.stats.misses - self._flushed_misses
+        if not delta_hits and not delta_misses:
+            return
+        data = self._load_persisted_stats()
+        data["hits"] += delta_hits
+        data["misses"] += delta_misses
+        if data["since"] is None:
+            data["since"] = time.time()
+        if self._save_stats(data):
+            self._flushed_hits = self.stats.hits
+            self._flushed_misses = self.stats.misses
+
+    def reset_persisted_stats(self) -> None:
+        """Restart the hit-rate window (``cache --prune`` calls this)."""
+        self._save_stats({"hits": 0, "misses": 0, "since": time.time()})
+        self._flushed_hits = self.stats.hits
+        self._flushed_misses = self.stats.misses
+
+    def usage_report(self) -> dict:
+        """Read-only snapshot behind ``repro cache --stats``.
+
+        Entry counts and byte totals per version directory under the
+        root, plus the persistent hit/miss tally (combined with this
+        instance's unflushed lookups).  Touches nothing on disk.
+        """
+        current = self.version_dir.name
+        versions = []
+        try:
+            children = sorted(self.root.iterdir())
+        except OSError:
+            children = []
+        for child in children:
+            if not child.is_dir() or not is_version_dir_name(child.name):
+                continue
+            entries = 0
+            total = 0
+            try:
+                for path in child.glob("*.pkl"):
+                    entries += 1
+                    try:
+                        total += path.stat().st_size
+                    except OSError:
+                        pass
+            except OSError:
+                pass
+            versions.append({"version": child.name,
+                             "current": child.name == current,
+                             "entries": entries, "bytes": total})
+        tally = self._load_persisted_stats()
+        hits = tally["hits"] + (self.stats.hits - self._flushed_hits)
+        misses = tally["misses"] + (self.stats.misses
+                                    - self._flushed_misses)
+        lookups = hits + misses
+        return {"root": str(self.root), "version": current,
+                "enabled": self.enabled, "max_bytes": self.max_bytes,
+                "entries": self.entry_count(),
+                "bytes": self.total_bytes(),
+                "versions": versions,
+                "hits": hits, "misses": misses,
+                "hit_rate": (hits / lookups) if lookups else None,
+                "since": tally["since"]}
+
+    def attach_metrics(self, registry) -> None:
+        """Register cache instruments on a :class:`MetricsRegistry`.
+
+        Callback-backed gauges read the live ``stats`` and the version
+        directory, so a metrics scrape always reflects the current
+        store without any per-operation update plumbing.
+        """
+        registry.gauge("cache_entries", "Entries in the current version",
+                       fn=self.entry_count)
+        registry.gauge("cache_bytes",
+                       "Payload bytes in the current version",
+                       fn=self.total_bytes)
+        registry.gauge("cache_hits", "Cache hits this process",
+                       fn=lambda: self.stats.hits)
+        registry.gauge("cache_misses", "Cache misses this process",
+                       fn=lambda: self.stats.misses)
+        registry.gauge("cache_writes", "Cache writes this process",
+                       fn=lambda: self.stats.writes)
+        registry.gauge("cache_errors",
+                       "Cache read/write errors this process",
+                       fn=lambda: self.stats.errors)
 
     def _evict_over_limit(self, index: dict,
                           delete: bool = True) -> list[tuple[str, int]]:

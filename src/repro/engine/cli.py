@@ -26,6 +26,7 @@ import argparse
 from repro.engine.backends import BACKEND_NAMES, resolve_backend
 from repro.engine.cache import ResultCache
 from repro.engine.runner import ParallelRunner
+from repro.obs.trace import JsonlTraceSink, default_trace_sink
 
 WORKERS_HELP = "worker processes for evaluation points " \
                "(1 = serial, 0 = one per CPU)"
@@ -34,6 +35,9 @@ BACKEND_HELP = "execution backend (default: serial for --workers 1, " \
                "else pool; queue = distributed via 'repro worker')"
 QUEUE_HELP = "spool directory for the queue backend; implies " \
              "--backend queue (default $REPRO_QUEUE_DIR)"
+TRACE_OUT_HELP = "append one JSON span per resolved shard to this " \
+                 "JSONL file (see 'repro trace report'; default " \
+                 "$REPRO_TRACE_DIR, off when neither is set)"
 
 
 def worker_count(text: str) -> int:
@@ -58,11 +62,13 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         help=BACKEND_HELP)
     parser.add_argument("--queue", default=None, metavar="DIR",
                         help=QUEUE_HELP)
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help=TRACE_OUT_HELP)
 
 
 def build_runner(workers: int = 1, no_cache: bool = False,
                  progress=None, backend=None,
-                 queue_dir=None) -> ParallelRunner:
+                 queue_dir=None, trace_out=None) -> ParallelRunner:
     """The engine configuration behind the shared knobs."""
     cache = None if no_cache else ResultCache.default()
     if backend is None and queue_dir is not None:
@@ -73,8 +79,12 @@ def build_runner(workers: int = 1, no_cache: bool = False,
     if backend is not None:
         backend = resolve_backend(backend, workers=workers,
                                   queue_dir=queue_dir)
+    if trace_out is not None:
+        trace_sink = JsonlTraceSink(trace_out)
+    else:
+        trace_sink = default_trace_sink()  # $REPRO_TRACE_DIR or None
     return ParallelRunner(workers=workers, cache=cache, progress=progress,
-                          backend=backend)
+                          backend=backend, trace_sink=trace_sink)
 
 
 def runner_from_args(args: argparse.Namespace,
@@ -83,4 +93,5 @@ def runner_from_args(args: argparse.Namespace,
     return build_runner(workers=args.workers, no_cache=args.no_cache,
                         progress=progress,
                         backend=getattr(args, "backend", None),
-                        queue_dir=getattr(args, "queue", None))
+                        queue_dir=getattr(args, "queue", None),
+                        trace_out=getattr(args, "trace_out", None))

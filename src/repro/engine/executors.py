@@ -19,7 +19,9 @@ which keeps ``import repro.engine`` acyclic.
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import replace
 from typing import TYPE_CHECKING
@@ -304,14 +306,16 @@ def _sleep(job: Job):
     into the job key), else the ``sleep_s`` option.  The result echoes
     only the deterministic ``note`` so it stays cache-stable.
     """
-    import os
-    import time
-
     env = os.environ.get("REPRO_SELFTEST_SLEEP_S")
     duration = float(env) if env else float(job.option("sleep_s", 0.0))
     if duration > 0:
         time.sleep(duration)
     return {"note": job.option("note", "")}
+
+
+def worker_tag() -> str:
+    """A short identity for trace spans executed in this process."""
+    return f"pid:{os.getpid()}"
 
 
 _EXECUTORS = {
@@ -347,6 +351,36 @@ def execute_chunk(jobs):
     for job in jobs:
         try:
             outcomes.append(("ok", execute_job(job)))
+        except Exception as exc:
+            outcomes.append(("err", exc))
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Timed variants (the tracing envelope)
+# ----------------------------------------------------------------------
+
+def execute_job_timed(job):
+    """``execute_job`` plus its timing envelope.
+
+    Returns ``(result, meta)`` where ``meta`` carries the measured
+    execute seconds and this process's worker tag.  The pool backend
+    submits this wrapper when a trace sink is active, so remote
+    execution time is attributed from the worker's own monotonic clock
+    (durations only — no cross-process timestamp agreement needed).
+    """
+    started = time.perf_counter()
+    result = execute_job(job)
+    return result, {"execute_s": time.perf_counter() - started,
+                    "worker": worker_tag()}
+
+
+def execute_chunk_timed(jobs):
+    """``execute_chunk`` where each ok outcome is ``(result, meta)``."""
+    outcomes = []
+    for job in jobs:
+        try:
+            outcomes.append(("ok", execute_job_timed(job)))
         except Exception as exc:
             outcomes.append(("err", exc))
     return outcomes

@@ -41,22 +41,22 @@ queue backend retries transient failures first (bounded, counted in
 
 from __future__ import annotations
 
-import dataclasses
 import os
-from dataclasses import dataclass
+import time
 
 from repro.engine.backends import ShardFailure, resolve_backend
 from repro.engine.cache import MISS, ResultCache
 from repro.engine.jobs import Job, aggregate_shard_results, job_key, \
     shard_jobs
 from repro.engine.progress import NullProgress
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import BatchTrace
 
 
 class EngineError(RuntimeError):
     """A job failed while executing inside a worker process."""
 
 
-@dataclass
 class EngineStats:
     """Counters accumulated across every batch a runner executes.
 
@@ -69,24 +69,59 @@ class EngineStats:
     attempt with retry budget left) bumps ``requeued``, and each
     *distinct* shard that needed more than one dispatch bumps ``retried``
     once.
+
+    Since the telemetry layer landed this is a *view* over typed
+    :class:`~repro.obs.metrics.Counter` instruments in a
+    :class:`~repro.obs.metrics.MetricsRegistry` (``engine_<name>`` each)
+    — the same instruments a Prometheus scrape renders — while keeping
+    the legacy surface intact: plain attribute reads and writes
+    (``stats.simulated += 1``), keyword construction, ``as_dict`` and
+    ``delta``.
     """
 
-    submitted: int = 0
-    #: Jobs answered from this runner's own memo.
-    memory_hits: int = 0
-    #: Jobs answered from the on-disk cache (shard granularity).
-    disk_hits: int = 0
-    #: Duplicate jobs inside one batch, collapsed to a single execution.
-    deduplicated: int = 0
-    #: Population jobs split into per-trace shards.
-    sharded: int = 0
-    #: Core simulations actually performed (the expensive part).
-    simulated: int = 0
-    #: Shard re-dispatch events (queue backend fault recovery).
-    requeued: int = 0
-    #: Distinct shards that needed more than one dispatch.
-    retried: int = 0
-    errors: int = 0
+    #: Counter name -> help text, in the legacy field order.
+    COUNTERS = {
+        "submitted": "Jobs handed to the runner",
+        "memory_hits": "Jobs answered from the runner's own memo",
+        "disk_hits": "Jobs answered from the on-disk cache (shards)",
+        "deduplicated": "Duplicate jobs collapsed within one batch",
+        "sharded": "Population jobs split into per-trace shards",
+        "simulated": "Core simulations actually performed",
+        "requeued": "Shard re-dispatch events (queue fault recovery)",
+        "retried": "Distinct shards that needed more than one dispatch",
+        "errors": "Batches that surfaced a shard failure",
+    }
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 **initial):
+        if registry is None:
+            registry = MetricsRegistry()
+        counters = {name: registry.counter(f"engine_{name}", help)
+                    for name, help in self.COUNTERS.items()}
+        # object.__setattr__: our __setattr__ routes counter names.
+        object.__setattr__(self, "registry", registry)
+        object.__setattr__(self, "_counters", counters)
+        for name, value in initial.items():
+            if name not in counters:
+                raise TypeError(
+                    f"EngineStats got an unexpected counter {name!r}")
+            counters[name].set(int(value))
+
+    def __getattr__(self, name: str):
+        # Only reached when normal lookup fails — i.e. for counter
+        # names, which live in the registry rather than the instance.
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return counters[name].value
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    def __setattr__(self, name: str, value) -> None:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            counters[name].set(int(value))
+        else:
+            object.__setattr__(self, name, value)
 
     @property
     def hits(self) -> int:
@@ -94,18 +129,42 @@ class EngineStats:
 
     def as_dict(self) -> dict:
         """The counters as a plain mapping (metrics/JSON surface)."""
-        return {f.name: getattr(self, f.name)
-                for f in dataclasses.fields(self)}
+        return {name: counter.value
+                for name, counter in self._counters.items()}
 
-    def delta(self, before: "EngineStats") -> dict:
+    def delta(self, before) -> dict:
         """Counter increments since the ``before`` snapshot.
 
         Long-lived multi-campaign consumers (the ``repro serve``
         collector) attribute one shared runner's work to individual
-        campaigns by snapshotting around each batch.
+        campaigns by snapshotting around each batch.  ``before`` may be
+        another ``EngineStats`` or a plain mapping (e.g. a registry
+        record persisted by an older code version); counters it does
+        not know about count from zero instead of raising.
         """
-        return {f.name: getattr(self, f.name) - getattr(before, f.name)
-                for f in dataclasses.fields(self)}
+        if hasattr(before, "as_dict"):
+            before = before.as_dict()
+        return {name: counter.value - int(before.get(name, 0) or 0)
+                for name, counter in self._counters.items()}
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, EngineStats):
+            return self.as_dict() == other.as_dict()
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={value}"
+                          for name, value in self.as_dict().items())
+        return f"EngineStats({inner})"
+
+    # Counter instruments hold locks; pickle the values, not the
+    # machinery (a restored snapshot gets its own private registry).
+
+    def __getstate__(self) -> dict:
+        return self.as_dict()
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(**state)
 
 
 class ParallelRunner:
@@ -130,12 +189,23 @@ class ParallelRunner:
         :data:`~repro.engine.backends.BACKEND_NAMES`, or an
         ``ExecutionBackend`` instance (e.g. a configured
         :class:`~repro.engine.backends.QueueBackend`).
+    trace_sink:
+        A span sink (:class:`~repro.obs.trace.JsonlTraceSink`) to which
+        every batch emits one span per resolved shard plus a batch
+        span.  ``None`` (default) or a disabled sink keeps the untraced
+        fast path: no span machinery is built at all.
+    metrics:
+        A shared :class:`~repro.obs.metrics.MetricsRegistry` for this
+        runner's instruments (``stats`` counters, cache gauges, queue
+        fault counters).  ``None`` creates a private registry.
     """
 
     def __init__(self, workers: int = 1,
                  cache: ResultCache | None = None,
                  progress=None,
-                 backend=None):
+                 backend=None,
+                 trace_sink=None,
+                 metrics: MetricsRegistry | None = None):
         if workers == 0 or workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
@@ -144,7 +214,16 @@ class ParallelRunner:
         self.cache = cache
         self.progress = progress if progress is not None else NullProgress()
         self.backend = resolve_backend(backend, workers=self.workers)
-        self.stats = EngineStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = EngineStats(registry=self.metrics)
+        if trace_sink is not None \
+                and getattr(trace_sink, "enabled", True) is False:
+            trace_sink = None
+        self.trace_sink = trace_sink
+        for layer in (self.backend, self.cache):
+            attach = getattr(layer, "attach_metrics", None)
+            if attach is not None:
+                attach(self.metrics)
         self._memo: dict[str, object] = {}
 
     # -- public API ----------------------------------------------------
@@ -154,43 +233,58 @@ class ParallelRunner:
         jobs = list(jobs)
         keys = [job_key(job) for job in jobs]
         self.stats.submitted += len(jobs)
+        trace = None
+        if self.trace_sink is not None:
+            trace = BatchTrace(self.trace_sink, backend=self.backend.name,
+                               batch_label=label)
         #: Executable units still unknown: atomic jobs and shards.
         pending: dict[str, Job] = {}
         #: Sharded population jobs awaiting reduction, in plan order.
         plans: dict[str, tuple[Job, tuple[str, ...]]] = {}
-        for job, key in zip(jobs, keys):
-            if key in self._memo:
-                self.stats.memory_hits += 1
-                continue
-            if key in pending or key in plans:
-                self.stats.deduplicated += 1
-                continue
-            shards = shard_jobs(job)
-            if shards is None:
-                if not self._from_disk(key):
-                    pending[key] = job
-                continue
-            self.stats.sharded += 1
-            shard_keys = []
-            for shard in shards:
-                shard_key = job_key(shard)
-                shard_keys.append(shard_key)
-                if shard_key in self._memo or shard_key in pending:
-                    continue
-                if not self._from_disk(shard_key):
-                    pending[shard_key] = shard
-            plans[key] = (job, tuple(shard_keys))
+        status = "error"
         try:
+            for job, key in zip(jobs, keys):
+                if key in self._memo:
+                    self.stats.memory_hits += 1
+                    continue
+                if key in pending or key in plans:
+                    self.stats.deduplicated += 1
+                    continue
+                shards = shard_jobs(job)
+                if shards is None:
+                    if not self._from_disk(key, job, trace):
+                        pending[key] = job
+                    continue
+                self.stats.sharded += 1
+                shard_keys = []
+                for shard in shards:
+                    shard_key = job_key(shard)
+                    shard_keys.append(shard_key)
+                    if shard_key in self._memo or shard_key in pending:
+                        continue
+                    if not self._from_disk(shard_key, shard, trace):
+                        pending[shard_key] = shard
+                plans[key] = (job, tuple(shard_keys))
+            if trace is not None:
+                trace.plan_done()
             if pending:
-                self._execute(pending, label)
+                self._execute(pending, label, trace)
             for key, (job, shard_keys) in plans.items():
                 # Reduction order is the plan's population order, fixed
                 # at submission — shard completion order cannot
                 # influence it.
+                if trace is not None:
+                    reduce_start = time.perf_counter()
                 self._memo[key] = aggregate_shard_results(
                     job, [self._memo[shard_key] for shard_key in shard_keys])
-            return [self._memo[key] for key in keys]
+                if trace is not None:
+                    trace.aggregated(time.perf_counter() - reduce_start)
+            results = [self._memo[key] for key in keys]
+            status = "ok"
+            return results
         finally:
+            if trace is not None:
+                trace.finish(status)
             if self.cache is not None:
                 # Hit recency is write-behind; one index write per batch.
                 self.cache.flush()
@@ -223,35 +317,58 @@ class ParallelRunner:
 
     # -- resolution helpers --------------------------------------------
 
-    def _from_disk(self, key: str) -> bool:
+    def _from_disk(self, key: str, job: Job | None = None,
+                   trace=None) -> bool:
         """Memoize ``key`` from the on-disk cache; False on a miss."""
         if self.cache is None:
             return False
-        value = self.cache.get(key)
-        if value is MISS:
-            return False
+        if trace is None:
+            value = self.cache.get(key)
+            if value is MISS:
+                return False
+        else:
+            read_start = time.perf_counter()
+            value = self.cache.get(key)
+            read_s = time.perf_counter() - read_start
+            if value is MISS:
+                return False  # miss read time stays in the plan stage
+            trace.record_hit(key, job, read_s)
         self._memo[key] = value
         self.stats.disk_hits += 1
         return True
 
     # -- execution -----------------------------------------------------
 
-    def _execute(self, pending: dict[str, Job], label: str) -> None:
+    def _execute(self, pending: dict[str, Job], label: str,
+                 trace=None) -> None:
         total = len(pending)
         backend = self.backend
         requeued_before = self.stats.requeued
         self.progress.start(total, label)
+        if trace is not None:
+            trace.submitted(pending.items())
+        # Capability check, not a hard protocol change: test doubles
+        # and third-party backends with the legacy two-argument
+        # signature keep working (their spans just lack the
+        # worker-measured execute envelope).
+        if trace is not None and getattr(backend, "supports_tracing",
+                                         False):
+            completions = backend.execute(pending, self.stats, trace=trace)
+        else:
+            completions = backend.execute(pending, self.stats)
         failure = None
         try:
             done = 0
-            for key, result in backend.execute(pending, self.stats):
-                self._record(key, result)
+            for key, result in completions:
+                self._record(key, result, trace)
                 done += 1
                 self.progress.advance(done, total,
                                       self._progress_label(label,
                                                            requeued_before))
         except ShardFailure as exc:
             self.stats.errors += 1
+            if trace is not None:
+                trace.failed(exc.key)
             failure = exc
         finally:
             self.progress.finish(total, label)
@@ -273,11 +390,19 @@ class ParallelRunner:
             return label
         return f"{label} [requeued {requeued}]".strip()
 
-    def _record(self, key: str, result) -> None:
+    def _record(self, key: str, result, trace=None) -> None:
         self.stats.simulated += 1
         self._memo[key] = result
+        if trace is None:
+            if self.cache is not None:
+                self.cache.put(key, result)
+            return
+        write_s = 0.0
         if self.cache is not None:
+            write_start = time.perf_counter()
             self.cache.put(key, result)
+            write_s = time.perf_counter() - write_start
+        trace.collected(key, write_s)
 
 
 def _failure_message(job: Job, key: str, exc: BaseException,

@@ -1,0 +1,30 @@
+"""repro.obs — zero-dependency telemetry for the execution engine.
+
+Three layers, all stdlib-only:
+
+- :mod:`repro.obs.metrics` — typed counters/gauges/histograms in a
+  shared :class:`MetricsRegistry`, rendered as JSON snapshots or
+  Prometheus text exposition.
+- :mod:`repro.obs.trace` — per-shard :class:`Span` records appended to
+  a JSONL sink, assembled by :class:`BatchTrace` with stage timings
+  that sum to the measured wall clock by construction.
+- :mod:`repro.obs.report` — the ``repro trace report`` breakdown
+  (per-stage percentiles, slowest shards, hit-rate by job kind).
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram,
+                               MetricsRegistry, Sample,
+                               DEFAULT_BUCKETS)
+from repro.obs.report import render_report, summarize
+from repro.obs.trace import (SPAN_VERSION, STAGES, TRACE_DIR_ENV,
+                             BatchTrace, JsonlTraceSink, NullTraceSink,
+                             Span, default_trace_sink, read_spans)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "Sample",
+    "DEFAULT_BUCKETS",
+    "Span", "BatchTrace", "JsonlTraceSink", "NullTraceSink",
+    "default_trace_sink", "read_spans",
+    "SPAN_VERSION", "STAGES", "TRACE_DIR_ENV",
+    "render_report", "summarize",
+]

@@ -1,0 +1,391 @@
+"""Typed, mergeable metrics instruments and their registry.
+
+The engine's observability counters used to be ad-hoc dataclass fields
+and hand-built dicts.  This module replaces them with three typed
+instruments — :class:`Counter`, :class:`Gauge` and :class:`Histogram`
+(fixed-bucket, mergeable) — registered in a thread-safe
+:class:`MetricsRegistry` that every execution layer shares: the runner's
+:class:`~repro.engine.runner.EngineStats` is a view over registry
+counters, the queue backend and broker register fault/lease instruments,
+the supervisor registers fleet gauges, and the serve collector registers
+backlog and per-tenant gauges.
+
+One registry, two surfaces: :meth:`MetricsRegistry.snapshot` feeds JSON
+consumers and :meth:`MetricsRegistry.to_prometheus` renders the
+Prometheus text exposition format (``GET /v1/metrics`` with
+``Accept: text/plain``).  Everything here is stdlib-only and has no
+engine imports, so the engine can depend on it without layering cycles.
+
+Dynamic label sets (per-tenant gauges, per-state campaign counts) come
+from *collector callbacks*: a callable registered with
+:meth:`MetricsRegistry.collector` returns :class:`Sample` tuples at
+snapshot time, so instruments never need to be created and destroyed as
+tenants come and go.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass
+
+#: Default histogram bounds (seconds): spans microsecond cache reads up
+#: to minute-long shards.  Prometheus-style upper bounds; the implicit
+#: +Inf bucket is always present.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                   1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One dynamically-labelled measurement from a collector callback."""
+
+    name: str
+    value: float
+    #: Sorted ``(label, value)`` pairs; a tuple so samples are hashable.
+    labels: tuple = ()
+    kind: str = "gauge"
+    help: str = ""
+
+
+class Counter:
+    """A monotonically non-decreasing count (thread-safe)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def set(self, value: int) -> None:
+        """Overwrite the count (the EngineStats attribute-view surface)."""
+        with self._lock:
+            self._value = int(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """A value that can go up and down, or a live callback.
+
+    With ``fn`` set the gauge is *callback-backed*: its value is
+    computed at read time (fleet size, backlog depth), so it can never
+    go stale and needs no update plumbing.  A callback that raises
+    reports 0 rather than poisoning a metrics scrape.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: dict | None = None, fn=None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.fn = fn
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        if self.fn is not None:
+            try:
+                return float(self.fn())
+            except Exception:
+                return 0.0
+        return self._value
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket distribution: mergeable across processes/batches.
+
+    Buckets are Prometheus-style upper bounds (``le``); an implicit
+    ``+Inf`` bucket catches everything beyond the last bound.  Counts
+    are stored per-bucket (non-cumulative) and cumulated at render
+    time, so :meth:`merge` is plain element-wise addition — two
+    histograms observed independently merge into exactly the histogram
+    of the union of their observations, provided their bounds match.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: dict | None = None,
+                 buckets=DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(not math.isfinite(b) for b in bounds) \
+                or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram buckets must be finite and strictly "
+                f"increasing (got {buckets!r})")
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket (non-cumulative) counts, ``+Inf`` last."""
+        with self._lock:
+            return list(self._counts)
+
+    def cumulative(self) -> list[int]:
+        """Prometheus-style cumulative ``le`` counts, ``+Inf`` last."""
+        total = 0
+        out = []
+        for count in self.bucket_counts():
+            total += count
+            out.append(total)
+        return out
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s observations into this histogram."""
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets "
+                f"({self.name}: {self.buckets} vs {other.name}: "
+                f"{other.buckets})")
+        counts = other.bucket_counts()
+        with other._lock:
+            other_sum, other_count = other._sum, other._count
+        with self._lock:
+            for index, count in enumerate(counts):
+                self._counts[index] += count
+            self._sum += other_sum
+            self._count += other_count
+        return self
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {"buckets": list(self.buckets),
+                    "counts": list(self._counts),
+                    "sum": self._sum, "count": self._count}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self._count})"
+
+
+class MetricsRegistry:
+    """Thread-safe instrument registry with Prometheus rendering.
+
+    Registration is idempotent: asking for an already-registered
+    ``(name, labels)`` returns the existing instrument (so two layers
+    naming the same counter share it), and asking with a conflicting
+    instrument type raises.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        #: (name, sorted label tuple) -> instrument, insertion-ordered.
+        self._instruments: dict = {}
+        self._collectors: list = []
+
+    @staticmethod
+    def _key(name: str, labels: dict | None) -> tuple:
+        return name, tuple(sorted((labels or {}).items()))
+
+    def _register(self, cls, name: str, help: str,
+                  labels: dict | None, **kwargs):
+        key = self._key(name, labels)
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {cls.__name__}")
+                return existing
+            instrument = cls(name, help=help, labels=labels, **kwargs)
+            self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "",
+                labels: dict | None = None) -> Counter:
+        return self._register(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: dict | None = None, fn=None) -> Gauge:
+        return self._register(Gauge, name, help, labels, fn=fn)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: dict | None = None,
+                  buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self._register(Histogram, name, help, labels,
+                              buckets=buckets)
+
+    def collector(self, fn) -> None:
+        """Register a callback returning :class:`Sample` iterables."""
+        with self._lock:
+            self._collectors.append(fn)
+
+    def instruments(self) -> list:
+        with self._lock:
+            return list(self._instruments.values())
+
+    def snapshot(self) -> dict:
+        """Flat ``name{labels} -> value`` mapping (JSON/test surface)."""
+        out = {}
+        for instrument in self.instruments():
+            label = _label_suffix(instrument.labels)
+            if isinstance(instrument, Histogram):
+                out[f"{instrument.name}{label}"] = instrument.as_dict()
+            else:
+                out[f"{instrument.name}{label}"] = instrument.value
+        for sample in self._collect_samples():
+            out[f"{sample.name}{_label_suffix(dict(sample.labels))}"] = \
+                sample.value
+        return out
+
+    def _collect_samples(self) -> list:
+        with self._lock:
+            collectors = list(self._collectors)
+        samples = []
+        for fn in collectors:
+            try:
+                samples.extend(fn())
+            except Exception:
+                continue  # a sick collector must not poison the scrape
+        return samples
+
+    def to_prometheus(self, prefix: str = "repro_") -> str:
+        """The registry in Prometheus text exposition format 0.0.4."""
+        groups: dict[str, dict] = {}
+        for instrument in self.instruments():
+            group = groups.setdefault(
+                instrument.name,
+                {"kind": instrument.kind, "help": instrument.help,
+                 "lines": []})
+            group["lines"].extend(
+                _instrument_lines(prefix, instrument))
+        for sample in self._collect_samples():
+            group = groups.setdefault(
+                sample.name,
+                {"kind": sample.kind, "help": sample.help, "lines": []})
+            full = _metric_name(prefix, sample.name)
+            if sample.kind == "counter":
+                full += "_total"
+            group["lines"].append(
+                f"{full}{_label_text(dict(sample.labels))} "
+                f"{_format_value(sample.value)}")
+        chunks = []
+        for name, group in groups.items():
+            full = _metric_name(prefix, name)
+            if group["kind"] == "counter":
+                # The classic text format requires HELP/TYPE to name
+                # the metric exactly as its samples spell it.
+                full += "_total"
+            if group["help"]:
+                chunks.append(f"# HELP {full} {_escape_help(group['help'])}")
+            chunks.append(f"# TYPE {full} {group['kind']}")
+            chunks.extend(group["lines"])
+        return "\n".join(chunks) + ("\n" if chunks else "")
+
+
+def _instrument_lines(prefix: str, instrument) -> list[str]:
+    full = _metric_name(prefix, instrument.name)
+    labels = instrument.labels
+    if isinstance(instrument, Counter):
+        return [f"{full}_total{_label_text(labels)} "
+                f"{_format_value(instrument.value)}"]
+    if isinstance(instrument, Histogram):
+        lines = []
+        cumulative = instrument.cumulative()
+        bounds = [*(str(_format_value(b)) for b in instrument.buckets),
+                  "+Inf"]
+        for bound, count in zip(bounds, cumulative):
+            lines.append(
+                f"{full}_bucket"
+                f"{_label_text(dict(labels, le=bound))} {count}")
+        lines.append(f"{full}_sum{_label_text(labels)} "
+                     f"{_format_value(instrument.sum)}")
+        lines.append(f"{full}_count{_label_text(labels)} "
+                     f"{instrument.count}")
+        return lines
+    return [f"{full}{_label_text(labels)} "
+            f"{_format_value(instrument.value)}"]
+
+
+def _metric_name(prefix: str, name: str) -> str:
+    text = prefix + name
+    return "".join(ch if ch.isalnum() or ch in "_:" else "_"
+                   for ch in text)
+
+
+def _label_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    parts = ", ".join(f'{key}="{_escape_label(str(value))}"'
+                      for key, value in sorted(labels.items()))
+    return "{" + parts + "}"
+
+
+def _label_suffix(labels: dict) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{key}={value}"
+                          for key, value in sorted(labels.items())) + "}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"") \
+        .replace("\n", r"\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if value == math.floor(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

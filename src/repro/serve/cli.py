@@ -170,6 +170,7 @@ def _cmd_serve(args) -> int:
                 f"--backend queue with --queue DIR or ${QUEUE_DIR_ENV}")
         supervisor = WorkerSupervisor(str(broker.root),
                                       max_workers=args.supervise_workers)
+        supervisor.attach_metrics(runner.metrics)
     state_dir = resolve_state_dir(args)
     server = create_server(args.host, args.port, runner=runner,
                            state_dir=state_dir,

@@ -36,6 +36,7 @@ import warnings as warnings_module
 from repro.engine.broker import spool_status
 from repro.engine.runner import ParallelRunner
 from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry, Sample
 from repro.experiments.experiment import Experiment
 from repro.experiments.spec import ExperimentSpec
 from repro.serve.registry import (
@@ -113,6 +114,12 @@ class Collector:
         self._wake = threading.Event()
         self._stopping = threading.Event()
         self._thread: threading.Thread | None = None
+        #: Shared with the runner when it has one, so one Prometheus
+        #: scrape sees engine counters and serve gauges side by side.
+        #: (Named to avoid shadowing the :meth:`metrics` JSON body.)
+        self.metrics_registry: MetricsRegistry = \
+            getattr(runner, "metrics", None) or MetricsRegistry()
+        self._register_instruments()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -296,6 +303,64 @@ class Collector:
         payload["queue"] = self._queue_metrics()
         payload["cache"] = self._cache_metrics()
         return payload
+
+    def _register_instruments(self) -> None:
+        """Serve-tier gauges and dynamic-label samples for a scrape."""
+        registry = self.metrics_registry
+        registry.gauge("serve_backlog_jobs",
+                       "Jobs admitted but not yet executed",
+                       fn=self.backlog)
+        registry.gauge("serve_backlog_bound",
+                       "Admission bound on the serve backlog",
+                       fn=lambda: self.backlog_jobs)
+        registry.gauge("serve_memo_entries",
+                       "Entries in the shared runner's in-memory memo",
+                       fn=lambda: self.runner.memo_size)
+        registry.collector(self._metric_samples)
+
+    def _metric_samples(self):
+        """Per-state / per-tenant gauges whose label sets are dynamic."""
+        samples = []
+        with self.lock:
+            states: dict[str, int] = {}
+            for record in self._records.values():
+                states[record.state] = states.get(record.state, 0) + 1
+            for state, count in sorted(states.items()):
+                samples.append(Sample(
+                    "serve_campaigns", count, (("state", state),),
+                    help="Campaigns known to this process, by state"))
+            tenants: dict[str, dict] = {}
+            for active in self._active:
+                usage = tenants.setdefault(
+                    active.record.tenant,
+                    {"active_campaigns": 0, "in_flight_jobs": 0})
+                usage["active_campaigns"] += 1
+                usage["in_flight_jobs"] += active.remaining
+            for tenant, usage in sorted(tenants.items()):
+                labels = (("tenant", tenant),)
+                samples.append(Sample(
+                    "serve_tenant_active_campaigns",
+                    usage["active_campaigns"], labels,
+                    help="Active campaigns per tenant"))
+                samples.append(Sample(
+                    "serve_tenant_in_flight_jobs",
+                    usage["in_flight_jobs"], labels,
+                    help="Unexecuted jobs per tenant"))
+        status = self._queue_metrics()
+        if status is not None:
+            current = next((entry for entry in status["versions"]
+                            if entry.get("current")), None)
+            if current is not None:
+                for state in ("pending", "claimed", "done", "failed"):
+                    samples.append(Sample(
+                        "queue_spool_shards", current.get(state, 0),
+                        (("state", state),),
+                        help="Current-version spool shards, by state"))
+        return samples
+
+    def prometheus(self) -> str:
+        """The ``GET /v1/metrics`` body under ``Accept: text/plain``."""
+        return self.metrics_registry.to_prometheus()
 
     def _queue_metrics(self):
         broker = getattr(self.runner.backend, "broker", None)

@@ -10,6 +10,8 @@ Endpoints (all JSON unless noted)::
     GET    /v1/campaigns/{id}/artifacts/{name}   rendered artifact rows
     DELETE /v1/campaigns/{id}           cancel
     GET    /v1/metrics                  engine/queue/cache/tenant gauges
+                                        (Prometheus text with
+                                        ``Accept: text/plain``)
 
 Error contract: configuration problems (malformed spec bodies, unknown
 artifact names) answer with their :class:`~repro.errors.ConfigError`
@@ -202,7 +204,7 @@ class _Handler(BaseHTTPRequestHandler):
         segments, query = self._route()
         try:
             if segments == ["v1", "metrics"]:
-                self._json(200, self.collector.metrics())
+                self._metrics()
             elif segments == ["v1", "campaigns"]:
                 self._json(200, {"campaigns": self.collector.campaigns()})
             elif len(segments) == 3 and \
@@ -236,6 +238,25 @@ class _Handler(BaseHTTPRequestHandler):
                             else "unknown campaign")
             return
         self._error(404, f"no such endpoint: DELETE {self.path}")
+
+    # -- metrics exposition --------------------------------------------
+
+    def _metrics(self) -> None:
+        """JSON by default; Prometheus text on ``Accept: text/plain``.
+
+        JSON stays the default (and wins whenever the client mentions
+        json at all) so every existing consumer of ``/v1/metrics`` is
+        untouched; only an explicit text/plain preference — what a
+        Prometheus scraper sends — switches the representation.
+        """
+        accept = (self.headers.get("Accept") or "").lower()
+        if "text/plain" in accept and "json" not in accept:
+            body = self.collector.prometheus().encode("utf-8")
+            self._send(200, body,
+                       content_type="text/plain; version=0.0.4; "
+                                    "charset=utf-8")
+            return
+        self._json(200, self.collector.metrics())
 
     # -- results streaming ---------------------------------------------
 
